@@ -1,0 +1,492 @@
+//! Parallel-fault stuck-at fault simulation.
+//!
+//! The simulator packs up to 63 faulty machines plus the good machine into
+//! the bits of a `u64` per net and simulates them in lockstep over a sequence
+//! of input vectors (one vector per clock cycle). A fault is *detected* when
+//! the value observed at any primary output differs from the good machine in
+//! the corresponding bit position.
+//!
+//! Two-valued logic is used: all flip-flops start at 0 (a deterministic reset
+//! state) and every input vector must assign a definite value to every
+//! primary input it mentions (unmentioned inputs default to 0). This is the
+//! standard setting for evaluating SBST program coverage, where the processor
+//! is reset before the test program runs.
+
+use faultmodel::{FaultClass, FaultList, FaultSite, StuckAt};
+use netlist::{graph, CellId, CellKind, NetId, Netlist, PinIndex, Reset};
+use std::collections::HashMap;
+
+/// One input vector: values applied to primary-input nets for one cycle.
+pub type InputVector = HashMap<NetId, bool>;
+
+/// Result of a fault-simulation campaign.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSimOutcome {
+    /// Number of faults newly marked detected.
+    pub detected: usize,
+    /// Number of faults simulated.
+    pub simulated: usize,
+}
+
+/// Parallel-fault simulator over a fixed netlist.
+#[derive(Debug)]
+pub struct FaultSim<'a> {
+    netlist: &'a Netlist,
+    order: Vec<CellId>,
+    flops: Vec<CellId>,
+    outputs: Vec<CellId>,
+}
+
+struct ChunkInjection {
+    /// Output-pin overrides per net: (mask, stuck bits).
+    net_overrides: HashMap<NetId, Vec<(u64, u64)>>,
+    /// Input-pin overrides per cell: (pin, mask, stuck bits).
+    pin_overrides: HashMap<CellId, Vec<(PinIndex, u64, u64)>>,
+    /// Mask of bits that carry a fault (bit 0 — the good machine — excluded).
+    fault_bits: u64,
+}
+
+impl ChunkInjection {
+    fn new(netlist: &Netlist, chunk: &[StuckAt]) -> Self {
+        let mut net_overrides: HashMap<NetId, Vec<(u64, u64)>> = HashMap::new();
+        let mut pin_overrides: HashMap<CellId, Vec<(PinIndex, u64, u64)>> = HashMap::new();
+        let mut fault_bits = 0u64;
+        for (i, fault) in chunk.iter().enumerate() {
+            let bit = 1u64 << (i + 1);
+            fault_bits |= bit;
+            let stuck = if fault.value { bit } else { 0 };
+            match fault.site {
+                FaultSite::CellOutput { cell } => {
+                    if let Some(net) = netlist.output_net(cell) {
+                        net_overrides.entry(net).or_default().push((bit, stuck));
+                    }
+                }
+                FaultSite::CellInput { cell, pin } => {
+                    pin_overrides
+                        .entry(cell)
+                        .or_default()
+                        .push((pin, bit, stuck));
+                }
+            }
+        }
+        ChunkInjection {
+            net_overrides,
+            pin_overrides,
+            fault_bits,
+        }
+    }
+
+    #[inline]
+    fn apply_net(&self, net: NetId, value: u64) -> u64 {
+        match self.net_overrides.get(&net) {
+            None => value,
+            Some(overrides) => {
+                let mut v = value;
+                for &(mask, stuck) in overrides {
+                    v = (v & !mask) | stuck;
+                }
+                v
+            }
+        }
+    }
+
+    #[inline]
+    fn apply_pin(&self, cell: CellId, pin: PinIndex, value: u64) -> u64 {
+        match self.pin_overrides.get(&cell) {
+            None => value,
+            Some(overrides) => {
+                let mut v = value;
+                for &(p, mask, stuck) in overrides {
+                    if p == pin {
+                        v = (v & !mask) | stuck;
+                    }
+                }
+                v
+            }
+        }
+    }
+}
+
+fn eval_packed(kind: CellKind, inputs: &[u64]) -> u64 {
+    match kind {
+        CellKind::Tie0 => 0,
+        CellKind::Tie1 => !0,
+        CellKind::Buf => inputs[0],
+        CellKind::Not => !inputs[0],
+        CellKind::And(_) => inputs.iter().fold(!0u64, |acc, &v| acc & v),
+        CellKind::Nand(_) => !inputs.iter().fold(!0u64, |acc, &v| acc & v),
+        CellKind::Or(_) => inputs.iter().fold(0u64, |acc, &v| acc | v),
+        CellKind::Nor(_) => !inputs.iter().fold(0u64, |acc, &v| acc | v),
+        CellKind::Xor(_) => inputs.iter().fold(0u64, |acc, &v| acc ^ v),
+        CellKind::Xnor(_) => !inputs.iter().fold(0u64, |acc, &v| acc ^ v),
+        CellKind::Mux2 => (inputs[0] & !inputs[2]) | (inputs[1] & inputs[2]),
+        CellKind::Input | CellKind::Output | CellKind::Dff { .. } | CellKind::Sdff { .. } => 0,
+    }
+}
+
+impl<'a> FaultSim<'a> {
+    /// Builds the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the combinational logic contains a cycle.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, graph::CombinationalLoop> {
+        let lev = graph::levelize(netlist)?;
+        Ok(FaultSim {
+            netlist,
+            order: lev.order,
+            flops: netlist.sequential_cells(),
+            outputs: netlist.primary_outputs(),
+        })
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Simulates `vectors` (one per cycle, starting from the all-zero reset
+    /// state) against every fault in `faults` and returns, for each fault,
+    /// whether it was detected at any primary output.
+    pub fn detect(&self, faults: &[StuckAt], vectors: &[InputVector]) -> Vec<bool> {
+        self.detect_at(faults, vectors, &self.outputs)
+    }
+
+    /// Like [`detect`](Self::detect), but only the given `Output` pseudo-cells
+    /// count as observation points — the way an on-line functional test only
+    /// observes the system bus, not the scan-out or debug-observation ports.
+    pub fn detect_at(
+        &self,
+        faults: &[StuckAt],
+        vectors: &[InputVector],
+        observed_outputs: &[CellId],
+    ) -> Vec<bool> {
+        let mut detected = vec![false; faults.len()];
+        for (chunk_index, chunk) in faults.chunks(63).enumerate() {
+            let mask = self.simulate_chunk(chunk, vectors, observed_outputs);
+            for (i, _) in chunk.iter().enumerate() {
+                if mask & (1u64 << (i + 1)) != 0 {
+                    detected[chunk_index * 63 + i] = true;
+                }
+            }
+        }
+        detected
+    }
+
+    /// Runs [`detect`](Self::detect) over every still-undetected fault in the
+    /// list and marks the detected ones as [`FaultClass::Detected`].
+    pub fn run_and_classify(
+        &self,
+        faults: &mut FaultList,
+        vectors: &[InputVector],
+    ) -> FaultSimOutcome {
+        let targets: Vec<StuckAt> = faults
+            .iter()
+            .filter(|&(_, c)| c == FaultClass::Undetected)
+            .map(|(f, _)| f)
+            .collect();
+        let detected = self.detect(&targets, vectors);
+        let mut outcome = FaultSimOutcome {
+            simulated: targets.len(),
+            detected: 0,
+        };
+        for (fault, hit) in targets.into_iter().zip(detected) {
+            if hit {
+                faults.classify(fault, FaultClass::Detected);
+                outcome.detected += 1;
+            }
+        }
+        outcome
+    }
+
+    /// Simulates the good machine only and returns the per-cycle values of
+    /// the primary outputs (useful for building expected responses).
+    pub fn good_responses(&self, vectors: &[InputVector]) -> Vec<Vec<bool>> {
+        let chunk: [StuckAt; 0] = [];
+        let injection = ChunkInjection::new(self.netlist, &chunk);
+        let mut state: HashMap<CellId, u64> = self.flops.iter().map(|&f| (f, 0u64)).collect();
+        let mut responses = Vec::with_capacity(vectors.len());
+        for vector in vectors {
+            let values = self.simulate_cycle(vector, &mut state, &injection);
+            responses.push(
+                self.outputs
+                    .iter()
+                    .map(|&po| {
+                        let net = self.netlist.cell(po).inputs()[0];
+                        values[net.index()] & 1 == 1
+                    })
+                    .collect(),
+            );
+        }
+        responses
+    }
+
+    fn simulate_chunk(
+        &self,
+        chunk: &[StuckAt],
+        vectors: &[InputVector],
+        observed_outputs: &[CellId],
+    ) -> u64 {
+        let injection = ChunkInjection::new(self.netlist, chunk);
+        let mut state: HashMap<CellId, u64> = self.flops.iter().map(|&f| (f, 0u64)).collect();
+        let mut detected = 0u64;
+        for vector in vectors {
+            let values = self.simulate_cycle(vector, &mut state, &injection);
+            // Observe primary outputs.
+            for &po in observed_outputs {
+                let net = self.netlist.cell(po).inputs()[0];
+                let mut observed = values[net.index()];
+                observed = injection.apply_pin(po, 0, observed);
+                let good = if observed & 1 == 1 { !0u64 } else { 0u64 };
+                detected |= (observed ^ good) & injection.fault_bits;
+            }
+            if detected == injection.fault_bits && !chunk.is_empty() {
+                break;
+            }
+        }
+        detected
+    }
+
+    fn simulate_cycle(
+        &self,
+        vector: &InputVector,
+        state: &mut HashMap<CellId, u64>,
+        injection: &ChunkInjection,
+    ) -> Vec<u64> {
+        let n = self.netlist;
+        let mut values = vec![0u64; n.num_nets()];
+        // Sources: primary inputs, ties, flip-flop outputs.
+        for (id, cell) in n.live_cells() {
+            let Some(out) = cell.output() else { continue };
+            let value = match cell.kind() {
+                CellKind::Input => {
+                    let name_net = out;
+                    let bit = vector.get(&name_net).copied().unwrap_or(false);
+                    if bit {
+                        !0u64
+                    } else {
+                        0u64
+                    }
+                }
+                CellKind::Tie0 => 0u64,
+                CellKind::Tie1 => !0u64,
+                CellKind::Dff { .. } | CellKind::Sdff { .. } => state[&id],
+                _ => continue,
+            };
+            values[out.index()] = injection.apply_net(out, value);
+        }
+        // Combinational propagation in topological order.
+        let mut input_buffer: Vec<u64> = Vec::with_capacity(8);
+        for &cell_id in &self.order {
+            let cell = n.cell(cell_id);
+            input_buffer.clear();
+            for (pin, &net) in cell.inputs().iter().enumerate() {
+                let v = injection.apply_pin(cell_id, pin as PinIndex, values[net.index()]);
+                input_buffer.push(v);
+            }
+            let mut out_value = eval_packed(cell.kind(), &input_buffer);
+            if let Some(out) = cell.output() {
+                out_value = injection.apply_net(out, out_value);
+                values[out.index()] = out_value;
+            }
+        }
+        // Next state.
+        let mut next: Vec<(CellId, u64)> = Vec::with_capacity(self.flops.len());
+        for &ff in &self.flops {
+            let cell = n.cell(ff);
+            let kind = cell.kind();
+            let read = |pin: PinIndex| -> u64 {
+                injection.apply_pin(ff, pin, values[cell.inputs()[pin as usize].index()])
+            };
+            let mut data = match kind {
+                CellKind::Sdff { .. } => {
+                    let d = read(0);
+                    let si = read(1);
+                    let se = read(2);
+                    (d & !se) | (si & se)
+                }
+                _ => read(0),
+            };
+            if let (Some(reset), Some(rst_pin)) = (kind.reset(), kind.reset_pin()) {
+                let rst = read(rst_pin);
+                let active = match reset {
+                    Reset::ActiveLow => !rst,
+                    Reset::ActiveHigh => rst,
+                };
+                data &= !active;
+            }
+            // A stuck output pin also pins the stored state.
+            if let Some(out) = cell.output() {
+                data = injection.apply_net(out, data);
+            }
+            next.push((ff, data));
+        }
+        for (ff, v) in next {
+            state.insert(ff, v);
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::NetlistBuilder;
+
+    fn vector(pairs: &[(NetId, bool)]) -> InputVector {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn detects_combinational_faults_with_exhaustive_patterns() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        let z = b.xor2(y, a);
+        b.output("z", z);
+        let n = b.finish();
+        let sim = FaultSim::new(&n).unwrap();
+        let vectors: Vec<InputVector> = (0..4)
+            .map(|p| vector(&[(a, p & 1 == 1), (c, p & 2 == 2)]))
+            .collect();
+        let mut faults = FaultList::full_universe(&n);
+        let outcome = sim.run_and_classify(&mut faults, &vectors);
+        assert_eq!(outcome.simulated, faults.len());
+        // With exhaustive patterns every testable fault of this tiny circuit
+        // is found; coverage should be high (>70 %).
+        assert!(outcome.detected * 10 >= faults.len() * 7, "{outcome:?}");
+        // And the AND output stuck-at-0 must definitely be among them.
+        let and = n.driver_of(y).unwrap();
+        assert_eq!(
+            faults.class_of(StuckAt::output(and, false)),
+            Some(FaultClass::Detected)
+        );
+    }
+
+    #[test]
+    fn undetectable_fault_stays_undetected() {
+        // y = a OR (a AND b): the AND output stuck-at-0 is undetectable
+        // (redundant logic).
+        let mut b = NetlistBuilder::new("red");
+        let a = b.input("a");
+        let c = b.input("b");
+        let t = b.and2(a, c);
+        let y = b.or2(a, t);
+        b.output("y", y);
+        let n = b.finish();
+        let and = n.driver_of(t).unwrap();
+        let sim = FaultSim::new(&n).unwrap();
+        let vectors: Vec<InputVector> = (0..4)
+            .map(|p| vector(&[(a, p & 1 == 1), (c, p & 2 == 2)]))
+            .collect();
+        let detected = sim.detect(&[StuckAt::output(and, false)], &vectors);
+        assert_eq!(detected, vec![false]);
+    }
+
+    #[test]
+    fn sequential_fault_detection_through_state() {
+        // A 1-bit toggle register: q' = q XOR en. A stuck-at on the XOR is
+        // only observable after a clock cycle.
+        let mut b = NetlistBuilder::new("tog");
+        let en = b.input("en");
+        let ck = b.input("ck");
+        let d = b.netlist_mut().add_net("d");
+        let q = b.dff(d, ck);
+        let x = b.xor2(q, en);
+        b.netlist_mut()
+            .add_cell(CellKind::Buf, "fb", &[x], Some(d));
+        b.output("q", q);
+        let n = b.finish();
+        let xor = n.driver_of(x).unwrap();
+        let sim = FaultSim::new(&n).unwrap();
+        let vectors: Vec<InputVector> = (0..4).map(|_| vector(&[(en, true), (ck, true)])).collect();
+        let faults = [StuckAt::output(xor, false), StuckAt::input(xor, 1, false)];
+        let detected = sim.detect(&faults, &vectors);
+        assert_eq!(detected, vec![true, true]);
+    }
+
+    #[test]
+    fn more_than_63_faults_use_multiple_chunks() {
+        let mut b = NetlistBuilder::new("wide");
+        let a = b.input_bus("a", 8);
+        let c = b.input_bus("b", 8);
+        let x = b.xor_word(&a, &c);
+        b.output_bus("y", &x);
+        let n = b.finish();
+        let sim = FaultSim::new(&n).unwrap();
+        let mut faults = FaultList::full_universe(&n);
+        assert!(faults.len() > 63);
+        let mut rng_patterns = Vec::new();
+        for p in 0..16u64 {
+            let mut v = InputVector::new();
+            for (i, &net) in a.iter().enumerate() {
+                v.insert(net, (p >> i) & 1 == 1);
+            }
+            for (i, &net) in c.iter().enumerate() {
+                v.insert(net, (p.wrapping_mul(7) >> i) & 1 == 1);
+            }
+            rng_patterns.push(v);
+        }
+        let outcome = sim.run_and_classify(&mut faults, &rng_patterns);
+        // XOR trees are highly testable; expect most faults detected.
+        assert!(outcome.detected > faults.len() / 2);
+    }
+
+    #[test]
+    fn good_responses_match_expected_logic() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        let n = b.finish();
+        let sim = FaultSim::new(&n).unwrap();
+        let vectors = vec![
+            vector(&[(a, true), (c, true)]),
+            vector(&[(a, true), (c, false)]),
+        ];
+        let responses = sim.good_responses(&vectors);
+        assert_eq!(responses, vec![vec![true], vec![false]]);
+    }
+
+    #[test]
+    fn detect_at_restricts_observation_points() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y1 = b.not(a);
+        let y2 = b.buf(a);
+        b.output("bus", y1);
+        b.output("debug_only", y2);
+        let n = b.finish();
+        let bus = n
+            .primary_outputs()
+            .into_iter()
+            .find(|&po| n.cell(po).name() == "bus")
+            .unwrap();
+        let buf = n.driver_of(y2).unwrap();
+        let sim = FaultSim::new(&n).unwrap();
+        let vectors = vec![vector(&[(a, true)]), vector(&[(a, false)])];
+        let fault = StuckAt::output(buf, false);
+        // Observable at the debug output…
+        assert_eq!(sim.detect(&[fault], &vectors), vec![true]);
+        // …but not when only the bus output counts.
+        assert_eq!(sim.detect_at(&[fault], &vectors, &[bus]), vec![false]);
+    }
+
+    #[test]
+    fn po_pin_fault_is_detected() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        b.output("y", a);
+        let n = b.finish();
+        let po = n.primary_outputs()[0];
+        let sim = FaultSim::new(&n).unwrap();
+        let vectors = vec![vector(&[(a, true)]), vector(&[(a, false)])];
+        let detected = sim.detect(
+            &[StuckAt::input(po, 0, false), StuckAt::input(po, 0, true)],
+            &vectors,
+        );
+        assert_eq!(detected, vec![true, true]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Structural test engine for the DATE 2013 on-line untestability
+//! reproduction — the workspace's substitute for the commercial ATPG tool
+//! (Synopsys TetraMAX) used by the paper.
+//!
+//! The crate provides:
+//!
+//! * three-valued [`logic`] and scalar simulation ([`sim`]): levelized
+//!   combinational propagation and a cycle-accurate sequential simulator,
+//!   both with single stuck-at fault injection;
+//! * packed **parallel-fault simulation** ([`fault_sim`]) for grading test
+//!   vector sequences (and SBST programs) against thousands of faults;
+//! * **constant propagation** from tied nets ([`constant`]) and the
+//!   **structural untestability analysis** ([`analysis`]) that classifies
+//!   faults as tied / blocked / unused — the step the paper delegates to
+//!   "any EDA tool able to identify structural untestable faults";
+//! * **PODEM** test generation with redundancy proofs ([`podem`]);
+//! * **SCOAP** testability measures ([`scoap`]);
+//! * random + deterministic **test-generation campaigns** ([`tpg`]).
+//!
+//! # Examples
+//!
+//! Classify the faults of a design in which one input is tied to ground
+//! (the situation §3.2.1 of the paper creates for debug control inputs):
+//!
+//! ```
+//! use atpg::analysis::StructuralAnalysis;
+//! use atpg::constant::ConstraintSet;
+//! use faultmodel::FaultList;
+//! use netlist::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new("demo");
+//! let dbg_en = b.input("debug_en");
+//! let d = b.input("d");
+//! let q = b.mux2(d, d, dbg_en); // degenerate mux: debug_en never matters
+//! b.output("q", q);
+//! let n = b.finish();
+//!
+//! let mut constraints = ConstraintSet::full_scan();
+//! constraints.tie_net(dbg_en, false);
+//! let mut faults = FaultList::full_universe(&n);
+//! let outcome = StructuralAnalysis::with_constraints(constraints)
+//!     .run(&n, &mut faults)
+//!     .unwrap();
+//! assert!(outcome.total_untestable() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod constant;
+pub mod fault_sim;
+pub mod logic;
+pub mod podem;
+pub mod scoap;
+pub mod sim;
+pub mod tpg;
+
+pub use analysis::{AnalysisConfig, AnalysisOutcome, StructuralAnalysis};
+pub use constant::{propagate_constants, ConstantValues, ConstraintSet};
+pub use fault_sim::{FaultSim, FaultSimOutcome, InputVector};
+pub use logic::Logic;
+pub use podem::{Podem, PodemConfig, PodemOutcome, TestPattern};
+pub use scoap::{compute_scoap, Scoap, SCOAP_INFINITY};
+pub use sim::{CombSim, SeqSim};
+pub use tpg::{run_campaign, TpgConfig, TpgOutcome};

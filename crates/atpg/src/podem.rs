@@ -1,0 +1,573 @@
+//! PODEM combinational test generation with redundancy identification.
+//!
+//! The engine works on the full-scan combinational frame: primary inputs and
+//! flip-flop outputs are controllable (unless constrained), primary outputs
+//! and flip-flop inputs are observation points (unless masked). A fault for
+//! which the decision space is exhausted without finding a test is *redundant*
+//! (structurally untestable); a fault for which the backtrack limit is hit is
+//! *aborted* and stays potentially testable.
+
+use crate::constant::ConstraintSet;
+use crate::logic::Logic;
+use crate::sim::{CombSim, NetValues};
+use faultmodel::{FaultSite, StuckAt};
+use netlist::{graph, CellId, CellKind, NetId, Netlist};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of the PODEM engine.
+#[derive(Clone, Copy, Debug)]
+pub struct PodemConfig {
+    /// Maximum number of backtracks before giving up on a fault.
+    pub backtrack_limit: usize,
+}
+
+impl Default for PodemConfig {
+    fn default() -> Self {
+        PodemConfig {
+            backtrack_limit: 10_000,
+        }
+    }
+}
+
+/// A test pattern found by PODEM: values for the controllable inputs
+/// (unassigned inputs are don't-care).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestPattern {
+    /// Assignments to controllable input nets.
+    pub assignments: HashMap<NetId, bool>,
+}
+
+/// Result of test generation for one fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A test was found.
+    Test(TestPattern),
+    /// The fault is proven untestable in the combinational frame.
+    Redundant,
+    /// The backtrack limit was exceeded; the fault stays unclassified.
+    Aborted,
+}
+
+/// The PODEM test generator.
+#[derive(Debug)]
+pub struct Podem<'a> {
+    netlist: &'a Netlist,
+    sim: CombSim<'a>,
+    config: PodemConfig,
+    forced: HashMap<NetId, Logic>,
+    controllable: HashSet<NetId>,
+    observation_nets: Vec<NetId>,
+    observation_pins: HashSet<(CellId, netlist::PinIndex)>,
+}
+
+impl<'a> Podem<'a> {
+    /// Builds a PODEM engine for the given design and environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the levelization error if the combinational logic is cyclic.
+    pub fn new(
+        netlist: &'a Netlist,
+        constraints: &ConstraintSet,
+        config: PodemConfig,
+    ) -> Result<Self, graph::CombinationalLoop> {
+        let sim = CombSim::new(netlist)?;
+        let forced = constraints.forced_nets.clone();
+        let mut controllable = HashSet::new();
+        for net in netlist.primary_input_nets() {
+            if !forced.contains_key(&net) {
+                controllable.insert(net);
+            }
+        }
+        if constraints.control_ff_outputs {
+            for ff in netlist.sequential_cells() {
+                if let Some(q) = netlist.output_net(ff) {
+                    if !forced.contains_key(&q) {
+                        controllable.insert(q);
+                    }
+                }
+            }
+        }
+        let mut observation_nets = Vec::new();
+        let mut observation_pins = HashSet::new();
+        for po in netlist.primary_outputs() {
+            if constraints.masked_outputs.contains(&po) {
+                continue;
+            }
+            observation_nets.push(netlist.cell(po).inputs()[0]);
+            observation_pins.insert((po, 0));
+        }
+        if constraints.observe_ff_inputs {
+            for ff in netlist.sequential_cells() {
+                for (pin, &net) in netlist.cell(ff).inputs().iter().enumerate() {
+                    observation_nets.push(net);
+                    observation_pins.insert((ff, pin as netlist::PinIndex));
+                }
+            }
+        }
+        observation_nets.sort_unstable();
+        observation_nets.dedup();
+        Ok(Podem {
+            netlist,
+            sim,
+            config,
+            forced,
+            controllable,
+            observation_nets,
+            observation_pins,
+        })
+    }
+
+    /// The net carrying the fault-free value of the fault site.
+    fn site_net(&self, fault: StuckAt) -> Option<NetId> {
+        match fault.site {
+            FaultSite::CellOutput { cell } => self.netlist.output_net(cell),
+            FaultSite::CellInput { cell, pin } => Some(self.netlist.input_net(cell, pin)),
+        }
+    }
+
+    fn simulate(
+        &self,
+        assignments: &HashMap<NetId, Logic>,
+        fault: Option<StuckAt>,
+    ) -> NetValues {
+        let mut values = self.sim.blank_values();
+        for (&net, &v) in assignments {
+            values[net.index()] = v;
+        }
+        self.sim.propagate(&mut values, &self.forced, fault);
+        values
+    }
+
+    fn is_detected(&self, fault: StuckAt, good: &NetValues, faulty: &NetValues) -> bool {
+        // A difference at any observation net.
+        for &net in &self.observation_nets {
+            let g = good[net.index()];
+            let f = faulty[net.index()];
+            if g.is_definite() && f.is_definite() && g != f {
+                return true;
+            }
+        }
+        // Branch fault directly on an observation pin: detected as soon as the
+        // fault-free value at that pin differs from the stuck value.
+        if let FaultSite::CellInput { cell, pin } = fault.site {
+            if self.observation_pins.contains(&(cell, pin)) {
+                let net = self.netlist.input_net(cell, pin);
+                let g = good[net.index()];
+                if g.is_definite() && g != Logic::from_bool(fault.value) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Cells on the D-frontier: the fault effect is present on at least one
+    /// input (either because the driving net carries a difference, or because
+    /// the cell itself hosts an excited branch fault) but the output does not
+    /// yet show a definite difference.
+    fn d_frontier(&self, fault: StuckAt, good: &NetValues, faulty: &NetValues) -> Vec<CellId> {
+        let mut frontier = Vec::new();
+        for (id, cell) in self.netlist.live_cells() {
+            if !cell.kind().is_combinational() {
+                continue;
+            }
+            let Some(out) = cell.output() else { continue };
+            let out_diff = {
+                let g = good[out.index()];
+                let f = faulty[out.index()];
+                g.is_definite() && f.is_definite() && g != f
+            };
+            if out_diff {
+                continue;
+            }
+            let mut has_input_diff = cell.inputs().iter().any(|&n| {
+                let g = good[n.index()];
+                let f = faulty[n.index()];
+                g.is_definite() && f.is_definite() && g != f
+            });
+            // An excited branch fault on this very cell is a fault effect at
+            // its input even though the driving net value is unchanged.
+            if let FaultSite::CellInput { cell: fc, pin } = fault.site {
+                if fc == id {
+                    let g = good[self.netlist.input_net(fc, pin).index()];
+                    if g.is_definite() && g != Logic::from_bool(fault.value) {
+                        has_input_diff = true;
+                    }
+                }
+            }
+            let out_undecided =
+                good[out.index()] == Logic::X || faulty[out.index()] == Logic::X;
+            if has_input_diff && out_undecided {
+                frontier.push(id);
+            }
+        }
+        frontier
+    }
+
+    /// Backtraces an objective `(net, value)` to an unassigned controllable
+    /// input. Returns `None` when no X-path to a free input exists.
+    fn backtrace(
+        &self,
+        mut net: NetId,
+        mut value: bool,
+        good: &NetValues,
+        assignments: &HashMap<NetId, Logic>,
+    ) -> Option<(NetId, bool)> {
+        for _ in 0..self.netlist.num_cells() + 1 {
+            if self.controllable.contains(&net) && !assignments.contains_key(&net) {
+                return Some((net, value));
+            }
+            if self.forced.contains_key(&net) {
+                return None;
+            }
+            let driver = self.netlist.driver_of(net)?;
+            let cell = self.netlist.cell(driver);
+            let kind = cell.kind();
+            if !kind.is_combinational() {
+                // Reached a flip-flop or port that is not controllable.
+                return None;
+            }
+            let x_inputs: Vec<usize> = cell
+                .inputs()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| good[n.index()] == Logic::X)
+                .map(|(i, _)| i)
+                .collect();
+            if x_inputs.is_empty() {
+                return None;
+            }
+            let (next_pin, next_value) = match kind {
+                CellKind::Buf => (x_inputs[0], value),
+                CellKind::Not => (x_inputs[0], !value),
+                CellKind::And(_) | CellKind::Nand(_) | CellKind::Or(_) | CellKind::Nor(_) => {
+                    let inverting =
+                        matches!(kind, CellKind::Nand(_) | CellKind::Nor(_));
+                    let want = value ^ inverting;
+                    let identity = matches!(kind, CellKind::And(_) | CellKind::Nand(_));
+                    // AND family: identity value 1; OR family: identity 0.
+                    if want == identity {
+                        // All inputs must take the identity value: pick any X.
+                        (x_inputs[0], identity)
+                    } else {
+                        // A single controlling input suffices.
+                        (x_inputs[0], !identity)
+                    }
+                }
+                CellKind::Xor(_) | CellKind::Xnor(_) => {
+                    let inverting = matches!(kind, CellKind::Xnor(_));
+                    let parity_known = cell
+                        .inputs()
+                        .iter()
+                        .filter_map(|&n| good[n.index()].to_bool())
+                        .fold(false, |acc, b| acc ^ b);
+                    // Setting all-but-one X inputs to 0 keeps their parity
+                    // neutral; the chosen input provides the remainder.
+                    let want = value ^ inverting ^ parity_known;
+                    (x_inputs[0], want)
+                }
+                CellKind::Mux2 => {
+                    let s = good[cell.inputs()[2].index()];
+                    match s {
+                        Logic::Zero => (0, value),
+                        Logic::One => (1, value),
+                        Logic::X => (2, false),
+                    }
+                }
+                _ => (x_inputs[0], value),
+            };
+            // Guard: the chosen pin must still be X (for MUX the fixed choice
+            // might not be).
+            let n = cell.inputs()[next_pin];
+            if good[n.index()] != Logic::X {
+                // Fall back to any X input with the same desired value.
+                net = cell.inputs()[x_inputs[0]];
+                value = next_value;
+                continue;
+            }
+            net = n;
+            value = next_value;
+        }
+        None
+    }
+
+    /// Attempts to generate a test for `fault`.
+    pub fn generate(&self, fault: StuckAt) -> PodemOutcome {
+        let Some(site_net) = self.site_net(fault) else {
+            // Detached output pin: nothing to excite or observe — redundant in
+            // this frame.
+            return PodemOutcome::Redundant;
+        };
+        let stuck = Logic::from_bool(fault.value);
+        let mut assignments: HashMap<NetId, Logic> = HashMap::new();
+        // Decision stack: (net, current value, tried_both).
+        let mut stack: Vec<(NetId, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            let good = self.simulate(&assignments, None);
+            let faulty = self.simulate(&assignments, Some(fault));
+
+            if self.is_detected(fault, &good, &faulty) {
+                let pattern = TestPattern {
+                    assignments: assignments
+                        .iter()
+                        .filter_map(|(&n, &v)| v.to_bool().map(|b| (n, b)))
+                        .collect(),
+                };
+                return PodemOutcome::Test(pattern);
+            }
+
+            let site_value = good[site_net.index()];
+            let excitation_conflict = site_value.is_definite() && site_value == stuck;
+            let frontier = self.d_frontier(fault, &good, &faulty);
+            let excited = site_value.is_definite() && site_value != stuck;
+            let dead_end = excitation_conflict || (excited && frontier.is_empty());
+
+            let objective = if dead_end {
+                None
+            } else if !excited {
+                Some((site_net, !fault.value))
+            } else {
+                // Advance the D-frontier: set an X side input of a frontier
+                // gate to its non-controlling value.
+                let mut obj = None;
+                'outer: for &gate in &frontier {
+                    let cell = self.netlist.cell(gate);
+                    let noncontrolling = match cell.kind().controlling_value() {
+                        Some(cv) => !cv,
+                        None => true,
+                    };
+                    for &n in cell.inputs() {
+                        if good[n.index()] == Logic::X {
+                            obj = Some((n, noncontrolling));
+                            break 'outer;
+                        }
+                    }
+                }
+                obj
+            };
+
+            let decision = objective.and_then(|(net, value)| {
+                self.backtrace(net, value, &good, &assignments)
+            });
+
+            match decision {
+                Some((input, value)) => {
+                    assignments.insert(input, Logic::from_bool(value));
+                    stack.push((input, value, false));
+                }
+                None => {
+                    // Backtrack.
+                    loop {
+                        match stack.pop() {
+                            None => return PodemOutcome::Redundant,
+                            Some((input, value, tried_both)) => {
+                                assignments.remove(&input);
+                                if !tried_both {
+                                    backtracks += 1;
+                                    if backtracks > self.config.backtrack_limit {
+                                        return PodemOutcome::Aborted;
+                                    }
+                                    assignments.insert(input, Logic::from_bool(!value));
+                                    stack.push((input, !value, true));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::NetlistBuilder;
+
+    fn engine_default(netlist: &Netlist) -> Podem<'_> {
+        Podem::new(netlist, &ConstraintSet::full_scan(), PodemConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn finds_test_for_simple_and() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        let n = b.finish();
+        let and = n.driver_of(y).unwrap();
+        let podem = engine_default(&n);
+        match podem.generate(StuckAt::output(and, false)) {
+            PodemOutcome::Test(pattern) => {
+                assert_eq!(pattern.assignments.get(&a), Some(&true));
+                assert_eq!(pattern.assignments.get(&c), Some(&true));
+            }
+            other => panic!("expected a test, got {other:?}"),
+        }
+        assert!(matches!(
+            podem.generate(StuckAt::input(and, 0, true)),
+            PodemOutcome::Test(_)
+        ));
+    }
+
+    #[test]
+    fn proves_classic_redundancy() {
+        // y = a OR (a AND b): the AND-output stuck-at-0 is redundant.
+        let mut b = NetlistBuilder::new("red");
+        let a = b.input("a");
+        let c = b.input("b");
+        let t = b.and2(a, c);
+        let y = b.or2(a, t);
+        b.output("y", y);
+        let n = b.finish();
+        let and = n.driver_of(t).unwrap();
+        let podem = engine_default(&n);
+        assert_eq!(
+            podem.generate(StuckAt::output(and, false)),
+            PodemOutcome::Redundant
+        );
+        // The same fault stuck-at-1 is testable (a=0, b=1 → y flips).
+        assert!(matches!(
+            podem.generate(StuckAt::output(and, true)),
+            PodemOutcome::Test(_)
+        ));
+    }
+
+    #[test]
+    fn respects_forced_inputs() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        let n = b.finish();
+        let and = n.driver_of(y).unwrap();
+        let mut constraints = ConstraintSet::full_scan();
+        constraints.tie_net(a, false);
+        let podem = Podem::new(&n, &constraints, PodemConfig::default()).unwrap();
+        // With a tied to 0 the AND output can never be 1: s-a-0 has no test.
+        assert_eq!(
+            podem.generate(StuckAt::output(and, false)),
+            PodemOutcome::Redundant
+        );
+        // ... but s-a-1 is testable (set b=1, output should be 0, faulty 1).
+        assert!(matches!(
+            podem.generate(StuckAt::output(and, true)),
+            PodemOutcome::Test(_)
+        ));
+    }
+
+    #[test]
+    fn uses_ff_boundaries_as_pseudo_ports() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let ck = b.input("ck");
+        let q = b.dff(a, ck);
+        let y = b.not(q);
+        let d2 = b.and2(y, a);
+        let _q2 = b.dff(d2, ck);
+        let n = b.finish();
+        let inv = n.driver_of(y).unwrap();
+        let podem = engine_default(&n);
+        // The inverter sits between two flip-flops; in the full-scan frame it
+        // is both controllable (via q) and observable (via the second FF's D).
+        assert!(matches!(
+            podem.generate(StuckAt::output(inv, false)),
+            PodemOutcome::Test(_)
+        ));
+        assert!(matches!(
+            podem.generate(StuckAt::output(inv, true)),
+            PodemOutcome::Test(_)
+        ));
+    }
+
+    #[test]
+    fn detects_observation_pin_branch_faults() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        b.output("y", a);
+        let n = b.finish();
+        let po = n.primary_outputs()[0];
+        let podem = engine_default(&n);
+        assert!(matches!(
+            podem.generate(StuckAt::input(po, 0, false)),
+            PodemOutcome::Test(_)
+        ));
+    }
+
+    #[test]
+    fn masked_output_makes_cone_redundant() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let dbg = b.not(a);
+        let y = b.buf(a);
+        b.output("dbg", dbg);
+        b.output("y", y);
+        let n = b.finish();
+        let inv = n.driver_of(dbg).unwrap();
+        let dbg_po = n
+            .primary_outputs()
+            .into_iter()
+            .find(|&po| n.cell(po).name() == "dbg")
+            .unwrap();
+        let mut constraints = ConstraintSet::full_scan();
+        constraints.mask_output(dbg_po);
+        let podem = Podem::new(&n, &constraints, PodemConfig::default()).unwrap();
+        assert_eq!(
+            podem.generate(StuckAt::output(inv, false)),
+            PodemOutcome::Redundant
+        );
+    }
+
+    #[test]
+    fn xor_tree_tests_found() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("a", 4);
+        let p = b.reduce_xor(&a);
+        b.output("p", p);
+        let n = b.finish();
+        let podem = engine_default(&n);
+        let mut faults = faultmodel::FaultList::full_universe(&n);
+        let mut tests = 0;
+        let mut redundant = 0;
+        let all: Vec<StuckAt> = faults.faults().to_vec();
+        for fault in all {
+            match podem.generate(fault) {
+                PodemOutcome::Test(_) => tests += 1,
+                PodemOutcome::Redundant => redundant += 1,
+                PodemOutcome::Aborted => {}
+            }
+        }
+        // An XOR tree has no redundant faults.
+        assert_eq!(redundant, 0);
+        assert_eq!(tests, faults.len());
+        let _ = &mut faults;
+    }
+
+    #[test]
+    fn generated_test_actually_detects_the_fault() {
+        use crate::fault_sim::FaultSim;
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("a", 3);
+        let c = b.input("c");
+        let t1 = b.and2(a[0], a[1]);
+        let t2 = b.or2(t1, a[2]);
+        let y = b.xor2(t2, c);
+        b.output("y", y);
+        let n = b.finish();
+        let podem = engine_default(&n);
+        let or = n.driver_of(t2).unwrap();
+        let fault = StuckAt::output(or, false);
+        let PodemOutcome::Test(pattern) = podem.generate(fault) else {
+            panic!("expected test");
+        };
+        let sim = FaultSim::new(&n).unwrap();
+        let vector: crate::fault_sim::InputVector = pattern.assignments.clone();
+        assert_eq!(sim.detect(&[fault], &[vector]), vec![true]);
+    }
+}

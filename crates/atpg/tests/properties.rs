@@ -1,0 +1,299 @@
+//! Property-based tests on the structural test engine: the constant
+//! analysis is sound, the packed parallel-fault simulator agrees with the
+//! scalar reference simulator, PODEM tests really detect their target fault,
+//! and collapsed-equivalent faults share their detection outcome.
+
+use atpg::{
+    analysis::StructuralAnalysis, constant::propagate_constants, CombSim, ConstraintSet, FaultSim,
+    InputVector, Logic, Podem, PodemConfig, PodemOutcome,
+};
+use faultmodel::{collapse, FaultClass, FaultList, StuckAt};
+use netlist::{NetId, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds a small combinational circuit whose shape is driven by `spec`:
+/// each entry adds a gate over two pseudo-randomly chosen existing signals.
+fn build_circuit(spec: &[u8]) -> (Netlist, Vec<NetId>, Vec<NetId>) {
+    let mut b = NetlistBuilder::new("prop");
+    let inputs: Vec<NetId> = (0..6).map(|i| b.input(format!("in{i}"))).collect();
+    let mut signals = inputs.clone();
+    for (i, &code) in spec.iter().enumerate() {
+        let a = signals[(code as usize) % signals.len()];
+        let c = signals[(code as usize / 7 + i) % signals.len()];
+        let g = match code % 6 {
+            0 => b.and2(a, c),
+            1 => b.or2(a, c),
+            2 => b.xor2(a, c),
+            3 => b.nand2(a, c),
+            4 => b.nor2(a, c),
+            _ => b.mux2(a, c, signals[(code as usize / 11) % signals.len()]),
+        };
+        signals.push(g);
+    }
+    let outputs: Vec<NetId> = signals.iter().rev().take(3).copied().collect();
+    for (i, &net) in outputs.iter().enumerate() {
+        b.output(format!("out{i}"), net);
+    }
+    (b.finish(), inputs, outputs)
+}
+
+fn eval_all(netlist: &Netlist, assignment: &HashMap<NetId, Logic>) -> Vec<Logic> {
+    let sim = CombSim::new(netlist).unwrap();
+    let mut values = sim.blank_values();
+    for (&net, &v) in assignment {
+        values[net.index()] = v;
+    }
+    sim.propagate(&mut values, &HashMap::new(), None);
+    values
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any net the constant analysis reports as constant must hold exactly
+    /// that value under every input assignment compatible with the ties.
+    #[test]
+    fn constant_propagation_is_sound(
+        spec in prop::collection::vec(any::<u8>(), 4..24),
+        tie_mask in 0u8..64,
+        tie_values in 0u8..64,
+        samples in prop::collection::vec(0u8..64, 8),
+    ) {
+        let (netlist, inputs, _) = build_circuit(&spec);
+        let mut constraints = ConstraintSet::full_scan();
+        for (i, &net) in inputs.iter().enumerate() {
+            if (tie_mask >> i) & 1 == 1 {
+                constraints.tie_net(net, (tie_values >> i) & 1 == 1);
+            }
+        }
+        let constants = propagate_constants(&netlist, &constraints).unwrap();
+        for &sample in &samples {
+            let mut assignment = HashMap::new();
+            for (i, &net) in inputs.iter().enumerate() {
+                let value = if (tie_mask >> i) & 1 == 1 {
+                    (tie_values >> i) & 1 == 1
+                } else {
+                    (sample >> i) & 1 == 1
+                };
+                assignment.insert(net, Logic::from_bool(value));
+            }
+            let values = eval_all(&netlist, &assignment);
+            for net in netlist.net_ids() {
+                if let Some(expected) = constants.value(net).to_bool() {
+                    prop_assert_eq!(
+                        values[net.index()],
+                        Logic::from_bool(expected),
+                        "net {} claimed constant {} but evaluates differently",
+                        netlist.net(net).name(),
+                        expected
+                    );
+                }
+            }
+        }
+    }
+
+    /// The packed parallel-fault simulator and a scalar good/faulty
+    /// comparison agree on combinational circuits.
+    #[test]
+    fn parallel_fault_sim_matches_scalar_reference(
+        spec in prop::collection::vec(any::<u8>(), 4..20),
+        patterns in prop::collection::vec(0u8..64, 1..6),
+    ) {
+        let (netlist, inputs, outputs) = build_circuit(&spec);
+        let faults: Vec<StuckAt> = FaultList::full_universe(&netlist)
+            .faults()
+            .iter()
+            .copied()
+            .take(100)
+            .collect();
+        let vectors: Vec<InputVector> = patterns
+            .iter()
+            .map(|&p| {
+                inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, (p >> i) & 1 == 1))
+                    .collect()
+            })
+            .collect();
+        let sim = FaultSim::new(&netlist).unwrap();
+        let packed = sim.detect(&faults, &vectors);
+
+        // Scalar reference: good vs faulty propagation per pattern.
+        for (fi, &fault) in faults.iter().enumerate() {
+            let mut expected = false;
+            for &p in &patterns {
+                let assignment: HashMap<NetId, Logic> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, Logic::from_bool((p >> i) & 1 == 1)))
+                    .collect();
+                let comb = CombSim::new(&netlist).unwrap();
+                let mut good = comb.blank_values();
+                let mut bad = comb.blank_values();
+                for (&net, &v) in &assignment {
+                    good[net.index()] = v;
+                    bad[net.index()] = v;
+                }
+                comb.propagate(&mut good, &HashMap::new(), None);
+                comb.propagate(&mut bad, &HashMap::new(), Some(fault));
+                for po in netlist.primary_outputs() {
+                    let g = comb.observed_value(&good, po, None);
+                    let f = comb.observed_value(&bad, po, Some(fault));
+                    if g.is_definite() && f.is_definite() && g != f {
+                        expected = true;
+                    }
+                }
+            }
+            prop_assert_eq!(packed[fi], expected, "fault {:?}", fault);
+        }
+        let _ = outputs;
+    }
+
+    /// Every test pattern PODEM produces is confirmed by the fault simulator.
+    #[test]
+    fn podem_tests_are_confirmed_by_fault_simulation(
+        spec in prop::collection::vec(any::<u8>(), 4..20),
+    ) {
+        let (netlist, _, _) = build_circuit(&spec);
+        let podem = Podem::new(&netlist, &ConstraintSet::full_scan(), PodemConfig::default()).unwrap();
+        let sim = FaultSim::new(&netlist).unwrap();
+        let faults: Vec<StuckAt> = FaultList::full_universe(&netlist)
+            .faults()
+            .iter()
+            .copied()
+            .take(60)
+            .collect();
+        for fault in faults {
+            if let PodemOutcome::Test(pattern) = podem.generate(fault) {
+                let vector: InputVector = pattern.assignments.clone();
+                prop_assert_eq!(
+                    sim.detect(&[fault], &[vector]),
+                    vec![true],
+                    "PODEM pattern does not detect {:?}",
+                    fault
+                );
+            }
+        }
+    }
+
+    /// Faults that collapse into the same equivalence class always share
+    /// their detection outcome under any pattern set.
+    #[test]
+    fn collapsed_equivalent_faults_share_detection(
+        spec in prop::collection::vec(any::<u8>(), 4..16),
+        patterns in prop::collection::vec(0u8..64, 4..8),
+    ) {
+        let (netlist, inputs, _) = build_circuit(&spec);
+        let list = FaultList::full_universe(&netlist);
+        let collapsed = collapse(&netlist, &list);
+        let vectors: Vec<InputVector> = patterns
+            .iter()
+            .map(|&p| {
+                inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, (p >> i) & 1 == 1))
+                    .collect()
+            })
+            .collect();
+        let sim = FaultSim::new(&netlist).unwrap();
+        let detected = sim.detect(list.faults(), &vectors);
+        let mut per_class: HashMap<usize, bool> = HashMap::new();
+        for (i, &hit) in detected.iter().enumerate() {
+            let rep = collapsed.representative_of(i);
+            if let Some(&prev) = per_class.get(&rep) {
+                prop_assert_eq!(
+                    prev,
+                    hit,
+                    "faults {:?} and class representative disagree",
+                    list.faults()[i]
+                );
+            } else {
+                per_class.insert(rep, hit);
+            }
+        }
+    }
+
+    /// Faults the structural analysis declares untestable are never detected
+    /// by exhaustive simulation of the constrained circuit.
+    #[test]
+    fn structural_untestability_is_sound(
+        spec in prop::collection::vec(any::<u8>(), 4..16),
+        tie_mask in 0u8..64,
+    ) {
+        let (netlist, inputs, _) = build_circuit(&spec);
+        let mut constraints = ConstraintSet::full_scan();
+        let mut free_inputs = Vec::new();
+        for (i, &net) in inputs.iter().enumerate() {
+            if (tie_mask >> i) & 1 == 1 {
+                constraints.tie_net(net, i % 2 == 0);
+            } else {
+                free_inputs.push(net);
+            }
+        }
+        let mut faults = FaultList::full_universe(&netlist);
+        StructuralAnalysis::with_constraints(constraints.clone())
+            .run(&netlist, &mut faults)
+            .unwrap();
+        // Exhaustive patterns over the free inputs (at most 2^6 = 64).
+        let vectors: Vec<InputVector> = (0..(1u32 << free_inputs.len()))
+            .map(|p| {
+                let mut v: InputVector = free_inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, (p >> i) & 1 == 1))
+                    .collect();
+                for (i, &net) in inputs.iter().enumerate() {
+                    if (tie_mask >> i) & 1 == 1 {
+                        v.insert(net, i % 2 == 0);
+                    }
+                }
+                v
+            })
+            .collect();
+        let sim = FaultSim::new(&netlist).unwrap();
+        let untestable: Vec<StuckAt> = faults
+            .iter()
+            .filter(|&(_, c)| c.is_structurally_untestable())
+            .map(|(f, _)| f)
+            .collect();
+        if untestable.is_empty() {
+            return Ok(());
+        }
+        let detected = sim.detect(&untestable, &vectors);
+        for (fault, hit) in untestable.iter().zip(detected) {
+            prop_assert!(
+                !hit,
+                "fault {:?} was classified {:?} but detected functionally",
+                fault,
+                faults.class_of(*fault)
+            );
+        }
+    }
+}
+
+#[test]
+fn analysis_and_podem_agree_on_redundant_classic() {
+    // y = a OR (a AND b): the AND output stuck-at-0 is redundant; both the
+    // fast structural pass (with PODEM enabled) and PODEM alone must agree.
+    let mut b = NetlistBuilder::new("red");
+    let a = b.input("a");
+    let c = b.input("b");
+    let t = b.and2(a, c);
+    let y = b.or2(a, t);
+    b.output("y", y);
+    let n = b.finish();
+    let and = n.driver_of(t).unwrap();
+    let mut faults = FaultList::full_universe(&n);
+    let analysis = StructuralAnalysis::new(atpg::AnalysisConfig {
+        prove_redundancy: true,
+        ..atpg::AnalysisConfig::default()
+    });
+    analysis.run(&n, &mut faults).unwrap();
+    assert_eq!(
+        faults.class_of(StuckAt::output(and, false)),
+        Some(FaultClass::Redundant)
+    );
+}

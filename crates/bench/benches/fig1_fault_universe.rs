@@ -1,0 +1,47 @@
+//! Figure 1 — the containment of the fault categories in the on-line fault
+//! universe: structurally untestable ⊆ functionally untestable ⊆ on-line
+//! functionally untestable ⊆ fault universe.
+
+use bench::small_soc;
+use criterion::{criterion_group, criterion_main, Criterion};
+use faultmodel::FaultList;
+use online_untestable::flow::{FlowConfig, IdentificationFlow};
+use std::time::Duration;
+
+fn fig1(c: &mut Criterion) {
+    let soc = small_soc();
+    let (report, faults) = IdentificationFlow::new(FlowConfig::default())
+        .run_with_faults(&soc)
+        .expect("flow");
+
+    let universe = faults.len();
+    let structurally = report.baseline_structural;
+    // "Functionally untestable" (without the on-line restrictions) is
+    // approximated by the structural class plus the memory-map class: those
+    // faults have no test program even with full pin access, whereas the
+    // scan/debug classes are testable until the test structures are tied off.
+    let functionally = structurally + report.count_for(faultmodel::UntestableSource::MemoryMap);
+    let online = structurally + report.total_untestable();
+
+    println!("--- reproduced Figure 1 (nested fault categories) ---");
+    println!("fault universe                      : {universe}");
+    println!("  on-line functionally untestable   : {online}");
+    println!("    functionally untestable         : {functionally}");
+    println!("      structurally untestable       : {structurally}");
+    assert!(structurally <= functionally);
+    assert!(functionally <= online);
+    assert!(online <= universe);
+
+    let mut group = c.benchmark_group("fig1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("fault_universe_generation", |b| {
+        b.iter(|| FaultList::full_universe(&soc.netlist).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Memory-map ablation (§3.3) — the number of memory-map-induced on-line
+//! untestable faults as a function of the mapped address-space size, from the
+//! paper's small explanatory map to a full 4 GiB map.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpu::mem::{MemRegion, MemoryMap, RegionKind};
+use cpu::soc::SocBuilder;
+use faultmodel::UntestableSource;
+use online_untestable::flow::{FlowConfig, IdentificationFlow};
+use std::time::Duration;
+
+fn memmap_only_config() -> FlowConfig {
+    FlowConfig {
+        run_scan: false,
+        run_debug_control: false,
+        run_debug_observation: false,
+        ..FlowConfig::default()
+    }
+}
+
+fn memmap_sweep(c: &mut Criterion) {
+    let maps = vec![
+        ("example_5KiB", MemoryMap::date13_example()),
+        ("case_study_160KiB", MemoryMap::date13_case_study()),
+        (
+            "large_32MiB",
+            MemoryMap::new(vec![
+                MemRegion::new(0x0000_0000, 0x0100_0000, RegionKind::Flash),
+                MemRegion::new(0x4000_0000, 0x0100_0000, RegionKind::Ram),
+            ]),
+        ),
+        (
+            "full_4GiB",
+            MemoryMap::new(vec![MemRegion::new(0, u32::MAX, RegionKind::Ram)]),
+        ),
+    ];
+
+    println!("--- memory-map sweep (reduced SoC) -----------------------------");
+    println!(
+        "{:<22} {:>12} {:>10} {:>8}",
+        "map", "frozen bits", "faults", "[%]"
+    );
+    let mut results = Vec::new();
+    for (name, map) in &maps {
+        let soc = SocBuilder::small().memory_map(map.clone()).build();
+        let report = IdentificationFlow::new(memmap_only_config())
+            .run(&soc)
+            .expect("flow");
+        let count = report.count_for(UntestableSource::MemoryMap);
+        println!(
+            "{:<22} {:>12} {:>10} {:>7.2}%",
+            name,
+            map.constant_address_bits().len(),
+            count,
+            100.0 * count as f64 / report.total_faults as f64
+        );
+        results.push((name.to_string(), count));
+    }
+    // Shape check: fewer frozen bits → fewer memory-map untestable faults.
+    assert!(results[0].1 >= results[1].1);
+    assert!(results[1].1 >= results[2].1);
+    assert_eq!(results[3].1, 0, "a full map freezes no address bit");
+
+    let soc = SocBuilder::small().build();
+    let mut group = c.benchmark_group("memmap_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("memory_map_rule_case_study", |b| {
+        b.iter(|| {
+            IdentificationFlow::new(memmap_only_config())
+                .run(&soc)
+                .expect("flow")
+                .count_for(UntestableSource::MemoryMap)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, memmap_sweep);
+criterion_main!(benches);

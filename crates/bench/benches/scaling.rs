@@ -1,0 +1,56 @@
+//! Scaling ablation — identification-flow runtime and result size as a
+//! function of the processor-core size (register-file depth), demonstrating
+//! that the method stays cheap as the design grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpu::core_gen::CoreConfig;
+use cpu::soc::SocBuilder;
+use netlist::stats::stats;
+use online_untestable::flow::{FlowConfig, IdentificationFlow};
+use std::time::Duration;
+
+fn scaling(c: &mut Criterion) {
+    let sizes = [8usize, 16, 32];
+    println!("--- scaling: core size vs identification results ---------------");
+    println!(
+        "{:>9} {:>10} {:>10} {:>12} {:>8}",
+        "registers", "cells", "faults", "untestable", "[%]"
+    );
+
+    let mut group = c.benchmark_group("scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    for &num_regs in &sizes {
+        let soc = SocBuilder::small()
+            .core_config(CoreConfig {
+                num_regs,
+                btb_entries: 4,
+                include_cycle_counter: true,
+            })
+            .build();
+        let s = stats(&soc.netlist);
+        let report = IdentificationFlow::new(FlowConfig::default())
+            .run(&soc)
+            .expect("flow");
+        println!(
+            "{:>9} {:>10} {:>10} {:>12} {:>7.1}%",
+            num_regs,
+            s.total_cells,
+            report.total_faults,
+            report.total_untestable(),
+            100.0 * report.untestable_fraction()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("identification_flow", num_regs),
+            &soc,
+            |b, soc| b.iter(|| IdentificationFlow::new(FlowConfig::default()).run(soc).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

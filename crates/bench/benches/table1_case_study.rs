@@ -1,0 +1,26 @@
+//! Table I — per-source counts of on-line functionally untestable faults on
+//! the full industrial-like SoC, and the runtime of the identification flow
+//! that produces them.
+
+use bench::{industrial_soc, print_table1, run_flow};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn table1(c: &mut Criterion) {
+    let soc = industrial_soc();
+    let report = run_flow(&soc);
+    print_table1(&report);
+
+    let mut group = c.benchmark_group("table1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("identification_flow_industrial", |b| {
+        b.iter(|| run_flow(&soc))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Shared helpers for the benchmark harness that regenerates every table and
+//! figure of the DATE 2013 paper.
+//!
+//! Each Criterion bench binary corresponds to one paper artefact (see
+//! `DESIGN.md` for the experiment index) and prints the reproduced
+//! rows/series before measuring the runtime of the underlying analysis.
+
+use cpu::soc::{Soc, SocBuilder};
+use faultmodel::UntestableSource;
+use online_untestable::flow::{FlowConfig, IdentificationFlow};
+use online_untestable::report::IdentificationReport;
+
+/// Builds the full-size industrial-like SoC used by the Table I benches.
+pub fn industrial_soc() -> Soc {
+    SocBuilder::industrial().build()
+}
+
+/// Builds the reduced SoC used by the quicker benches.
+pub fn small_soc() -> Soc {
+    SocBuilder::small().build()
+}
+
+/// Runs the complete identification flow with default settings.
+pub fn run_flow(soc: &Soc) -> IdentificationReport {
+    IdentificationFlow::new(FlowConfig::default())
+        .run(soc)
+        .expect("identification flow")
+}
+
+/// Prints a Table-I-style block for a report, next to the paper's numbers.
+pub fn print_table1(report: &IdentificationReport) {
+    println!("--- reproduced Table I ---------------------------------------");
+    println!("fault universe: {}", report.total_faults);
+    for source in UntestableSource::ALL {
+        println!(
+            "  {:<18} {:>8}  ({:>5.1}%)",
+            source.name(),
+            report.count_for(source),
+            100.0 * report.count_for(source) as f64 / report.total_faults as f64
+        );
+    }
+    println!(
+        "  {:<18} {:>8}  ({:>5.1}%)",
+        "TOTAL",
+        report.total_untestable(),
+        100.0 * report.untestable_fraction()
+    );
+    println!("--- paper Table I (214,930 faults) ----------------------------");
+    println!("  Scan    19,142  ( 8.9%)   Debug  6,905 (3.2%)");
+    println!("  Memory   3,610  ( 1.7%)   TOTAL 29,657 (13.8%)");
+    println!("----------------------------------------------------------------");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_and_run() {
+        let soc = small_soc();
+        let report = run_flow(&soc);
+        assert!(report.total_untestable() > 0);
+        print_table1(&report);
+    }
+}

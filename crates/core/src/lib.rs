@@ -1,0 +1,50 @@
+//! On-line functionally untestable fault identification in embedded
+//! processor cores — a full reproduction of Bernardi et al., DATE 2013.
+//!
+//! When an embedded processor is tested *on-line* with a purely functional
+//! (software-based) self-test, part of its stuck-at fault universe can never
+//! be detected: the scan chains are idle, the debug interfaces are tied off,
+//! and the restricted memory map freezes many address bits. This crate
+//! identifies those **on-line functionally untestable** faults so they can be
+//! pruned from the fault list, raising the meaningful coverage figure
+//! (by 13.8 % on the paper's industrial case study).
+//!
+//! The crate implements the paper's methodology:
+//!
+//! 1. **search for sources of untestability** — [`toggle`] activity analysis
+//!    over the SBST suite, or the SoC integration specification;
+//! 2. **circuit manipulation** — [`manipulate`] ties mission-constant signals
+//!    and disconnects mission-unobserved outputs;
+//! 3. **screening** — the [`rules`] either prune faults directly (scan chain
+//!    tracing, §3.1) or run the structural untestability analysis of the
+//!    [`atpg`] crate on the manipulated circuit (§3.2, §3.3), and the
+//!    [`flow`] composes everything into a Table-I-style
+//!    [`report::IdentificationReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cpu::soc::SocBuilder;
+//! use online_untestable::flow::{FlowConfig, IdentificationFlow};
+//!
+//! let soc = SocBuilder::small().build();
+//! let report = IdentificationFlow::new(FlowConfig::default())
+//!     .run(&soc)
+//!     .expect("identification flow");
+//! println!("{report}");
+//! assert!(report.total_untestable() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod flow;
+pub mod manipulate;
+pub mod report;
+pub mod rules;
+pub mod toggle;
+
+pub use flow::{DiscoveryMode, FlowConfig, FlowError, IdentificationFlow};
+pub use manipulate::{Manipulation, ManipulationStep};
+pub use report::{IdentificationReport, PhaseResult};
+pub use toggle::{analyze_toggles, ToggleReport};

@@ -1,0 +1,201 @@
+//! The identification report: the Table-I-style summary plus per-phase
+//! details and timings.
+
+use faultmodel::{ClassCounts, UntestableSource, UntestableSummary};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Result of one phase of the identification flow.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseResult {
+    /// Phase name ("baseline", "scan", "debug-control", …).
+    pub name: String,
+    /// Faults newly attributed to the phase.
+    pub newly_classified: usize,
+    /// Wall-clock time spent in the phase.
+    pub duration: Duration,
+}
+
+/// The complete result of the on-line untestable fault identification flow.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IdentificationReport {
+    /// Name of the analysed design.
+    pub design: String,
+    /// Total number of stuck-at faults in the universe.
+    pub total_faults: usize,
+    /// Faults that are structurally untestable even before considering the
+    /// mission environment (not counted as on-line untestable).
+    pub baseline_structural: usize,
+    /// Per-phase results, in execution order.
+    pub phases: Vec<PhaseResult>,
+    /// Final per-class fault counts.
+    pub counts: ClassCounts,
+}
+
+impl IdentificationReport {
+    /// Number of faults attributed to one on-line untestability source.
+    pub fn count_for(&self, source: UntestableSource) -> usize {
+        self.counts.online(source)
+    }
+
+    /// Total on-line functionally untestable faults.
+    pub fn total_untestable(&self) -> usize {
+        self.counts.online_untestable_total()
+    }
+
+    /// The on-line untestable fraction of the fault universe (the paper's
+    /// "coverage loss", 13.8 % in Table I).
+    pub fn untestable_fraction(&self) -> f64 {
+        if self.total_faults == 0 {
+            0.0
+        } else {
+            self.total_untestable() as f64 / self.total_faults as f64
+        }
+    }
+
+    /// The Table-I style summary (Scan / Debug / Memory / TOTAL rows).
+    pub fn summary(&self) -> UntestableSummary {
+        UntestableSummary::from_counts(&self.counts)
+    }
+
+    /// Total wall-clock time of the flow.
+    pub fn total_duration(&self) -> Duration {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// The coverage figure a test achieving `detected` detections would
+    /// report before pruning (detected / total).
+    pub fn coverage_before_pruning(&self, detected: usize) -> f64 {
+        if self.total_faults == 0 {
+            0.0
+        } else {
+            detected as f64 / self.total_faults as f64
+        }
+    }
+
+    /// The coverage figure after removing every untestable fault (structural
+    /// and on-line) from the denominator — the "raised by about 13 %" effect
+    /// reported in §4.
+    pub fn coverage_after_pruning(&self, detected: usize) -> f64 {
+        let denominator = self
+            .total_faults
+            .saturating_sub(self.baseline_structural)
+            .saturating_sub(self.total_untestable());
+        if denominator == 0 {
+            0.0
+        } else {
+            detected as f64 / denominator as f64
+        }
+    }
+}
+
+impl fmt::Display for IdentificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design: {}", self.design)?;
+        writeln!(f, "fault universe: {} stuck-at faults", self.total_faults)?;
+        writeln!(
+            f,
+            "baseline structurally untestable: {}",
+            self.baseline_structural
+        )?;
+        writeln!(f, "{}", self.summary())?;
+        writeln!(f, "phases:")?;
+        for phase in &self.phases {
+            writeln!(
+                f,
+                "  {:<18} {:>8} faults  {:>10.3} ms",
+                phase.name,
+                phase.newly_classified,
+                phase.duration.as_secs_f64() * 1e3
+            )?;
+        }
+        write!(
+            f,
+            "total analysis time: {:.3} ms",
+            self.total_duration().as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultmodel::FaultClass;
+
+    fn sample_report() -> IdentificationReport {
+        let mut counts = ClassCounts::default();
+        counts.add(FaultClass::Undetected, 800);
+        counts.add(FaultClass::Tied, 50);
+        counts.add(FaultClass::OnlineUntestable(UntestableSource::Scan), 90);
+        counts.add(
+            FaultClass::OnlineUntestable(UntestableSource::DebugControl),
+            30,
+        );
+        counts.add(
+            FaultClass::OnlineUntestable(UntestableSource::DebugObservation),
+            10,
+        );
+        counts.add(FaultClass::OnlineUntestable(UntestableSource::MemoryMap), 20);
+        IdentificationReport {
+            design: "demo".to_string(),
+            total_faults: 1000,
+            baseline_structural: 50,
+            phases: vec![
+                PhaseResult {
+                    name: "baseline".to_string(),
+                    newly_classified: 50,
+                    duration: Duration::from_millis(2),
+                },
+                PhaseResult {
+                    name: "scan".to_string(),
+                    newly_classified: 90,
+                    duration: Duration::from_millis(1),
+                },
+            ],
+            counts,
+        }
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let r = sample_report();
+        assert_eq!(r.total_untestable(), 150);
+        assert_eq!(r.count_for(UntestableSource::Scan), 90);
+        assert!((r.untestable_fraction() - 0.15).abs() < 1e-12);
+        assert_eq!(r.summary().total_row().count, 150);
+        assert_eq!(r.total_duration(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn pruning_raises_coverage() {
+        let r = sample_report();
+        let detected = 700;
+        let before = r.coverage_before_pruning(detected);
+        let after = r.coverage_after_pruning(detected);
+        assert!(after > before);
+        assert!((before - 0.7).abs() < 1e-12);
+        assert!((after - 700.0 / 800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_table_rows() {
+        let text = sample_report().to_string();
+        for needle in ["Scan", "Debug", "Memory", "TOTAL", "baseline", "fault universe"] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_report_has_zero_fraction() {
+        let r = IdentificationReport {
+            design: "x".to_string(),
+            total_faults: 0,
+            baseline_structural: 0,
+            phases: Vec::new(),
+            counts: ClassCounts::default(),
+        };
+        assert_eq!(r.untestable_fraction(), 0.0);
+        assert_eq!(r.coverage_after_pruning(0), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! The `mini32` embedded processor and SoC generator — the workspace's
+//! substitute for the industrial automotive SoC (e200z0-based) of the paper's
+//! case study.
+//!
+//! The crate provides:
+//!
+//! * the **ISA** ([`isa`]) and an **instruction-set simulator** ([`iss`]) used
+//!   as the architectural reference model;
+//! * **memory models** ([`mem`]): the sparse ISS memory and the SoC
+//!   [`mem::MemoryMap`] with the address-bit analysis of §3.3;
+//! * gate-level **datapath generators** ([`rtl`]) and the assembled
+//!   single-cycle core ([`core_gen`]);
+//! * the **SoC builder** ([`soc`]) that adds full scan, a Nexus-style debug
+//!   unit, a JTAG port and a BIST block on top of the core;
+//! * an **SBST program library** ([`sbst`]) with stimulus extraction for
+//!   gate-level fault grading.
+//!
+//! # Examples
+//!
+//! ```
+//! use cpu::soc::SocBuilder;
+//!
+//! let soc = SocBuilder::small().build();
+//! assert!(netlist::stats::stats(&soc.netlist).stuck_at_faults() > 10_000);
+//! assert!(!soc.mission_tied_inputs().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod core_gen;
+pub mod isa;
+pub mod iss;
+pub mod mem;
+pub mod rtl;
+pub mod sbst;
+pub mod soc;
+
+pub use core_gen::{generate_core, CoreConfig, CoreInterface};
+pub use isa::Instr;
+pub use iss::Iss;
+pub use mem::{MemRegion, Memory, MemoryMap, RegionKind};
+pub use sbst::{standard_suite, SbstProgram};
+pub use soc::{Soc, SocBuilder, SocConfig};

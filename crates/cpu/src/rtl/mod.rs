@@ -1,0 +1,78 @@
+//! Gate-level datapath generators for the `mini32` core.
+//!
+//! Each submodule contributes one functional unit, built through the
+//! [`netlist::NetlistBuilder`] word-level helpers and tagged with a group so
+//! that the identification flow can locate it later (`"regfile"`, `"alu"`,
+//! `"agu"`, `"btb"`, `"decode"`, …).
+
+pub mod agu;
+pub mod alu;
+pub mod btb;
+pub mod decode;
+pub mod regfile;
+
+use netlist::{NetId, NetlistBuilder, Word};
+
+/// Sign-extends a 16-bit word to 32 bits (by wiring, no gates).
+pub fn sign_extend_16(word: &[NetId]) -> Word {
+    assert_eq!(word.len(), 16, "sign_extend_16 needs a 16-bit word");
+    let mut out = word.to_vec();
+    let msb = word[15];
+    out.extend(std::iter::repeat(msb).take(16));
+    out
+}
+
+/// Zero-extends a 16-bit word to 32 bits using the builder's constant-0 net.
+pub fn zero_extend_16(builder: &mut NetlistBuilder, word: &[NetId]) -> Word {
+    assert_eq!(word.len(), 16, "zero_extend_16 needs a 16-bit word");
+    let zero = builder.tie0();
+    let mut out = word.to_vec();
+    out.extend(std::iter::repeat(zero).take(16));
+    out
+}
+
+/// Shifts a 32-bit word left by two positions by wiring (used for branch
+/// offsets).
+pub fn shift_left_2(builder: &mut NetlistBuilder, word: &[NetId]) -> Word {
+    assert_eq!(word.len(), 32, "shift_left_2 needs a 32-bit word");
+    let zero = builder.tie0();
+    let mut out = vec![zero, zero];
+    out.extend_from_slice(&word[..30]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::NetlistBuilder;
+
+    #[test]
+    fn sign_extension_replicates_msb() {
+        let mut b = NetlistBuilder::new("t");
+        let w = b.input_bus("w", 16);
+        let ext = sign_extend_16(&w);
+        assert_eq!(ext.len(), 32);
+        for bit in &ext[16..] {
+            assert_eq!(*bit, w[15]);
+        }
+    }
+
+    #[test]
+    fn zero_extension_uses_tie() {
+        let mut b = NetlistBuilder::new("t");
+        let w = b.input_bus("w", 16);
+        let ext = zero_extend_16(&mut b, &w);
+        assert_eq!(ext.len(), 32);
+        assert_eq!(ext[16], ext[31]);
+    }
+
+    #[test]
+    fn shift_left_2_rewires() {
+        let mut b = NetlistBuilder::new("t");
+        let w = b.input_bus("w", 32);
+        let shifted = shift_left_2(&mut b, &w);
+        assert_eq!(shifted.len(), 32);
+        assert_eq!(shifted[2], w[0]);
+        assert_eq!(shifted[31], w[29]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Design-for-test and design-for-debug infrastructure for the DATE 2013
+//! on-line untestability reproduction:
+//!
+//! * [`scan`] — mux-scan insertion and chain stitching (the structures §3.1
+//!   of the paper analyses);
+//! * [`trace`] — the scan-chain tracer ("ad-hoc tool able to trace the
+//!   chain") that recovers chain order, SI/SE nets and scan-path buffers;
+//! * [`debug`] — Nexus-style debug register access and observation buses
+//!   (§3.2, Fig. 4);
+//! * [`jtag`] — an IEEE 1149.1 TAP controller generator (the "entire JTAG
+//!   access port" of the case study);
+//! * [`bist`] — LFSR/MISR logic BIST blocks.
+//!
+//! # Examples
+//!
+//! ```
+//! use dft::scan::{insert_scan, ScanConfig};
+//! use dft::trace::{find_scan_in_ports, trace_scan_chains};
+//! use netlist::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new("demo");
+//! let ck = b.input("ck");
+//! let d = b.input_bus("d", 8);
+//! let q = b.register(&d, ck);
+//! b.output_bus("q", &q);
+//! let mut design = b.finish();
+//!
+//! let inserted = insert_scan(&mut design, &ScanConfig::default());
+//! let ports = find_scan_in_ports(&design, "scan_in");
+//! let trace = trace_scan_chains(&design, &ports, "scan_out").unwrap();
+//! assert_eq!(trace.num_flops(), inserted.num_scan_cells());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bist;
+pub mod debug;
+pub mod jtag;
+pub mod scan;
+pub mod trace;
+
+pub use bist::{generate_bist, BistBlock, BistConfig};
+pub use debug::{insert_debug_access, DebugConfig, DebugUnit};
+pub use jtag::{generate_jtag, JtagConfig, JtagPort, TapState};
+pub use scan::{insert_scan, ScanChain, ScanConfig, ScanInsertion};
+pub use trace::{
+    find_scan_in_ports, trace_scan_chains, ScanElement, ScanTrace, TraceError, TracedChain,
+};

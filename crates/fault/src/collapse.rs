@@ -1,0 +1,300 @@
+//! Classical structural fault-equivalence collapsing.
+//!
+//! Two rules are applied:
+//!
+//! 1. **Gate-local equivalence**: for a gate with a controlling value `c`
+//!    and inversion `i`, every input stuck-at-`c` is equivalent to the output
+//!    stuck-at-`c ⊕ i` (e.g. any AND input s-a-0 ≡ AND output s-a-0, any NAND
+//!    input s-a-0 ≡ NAND output s-a-1). For buffers and inverters both input
+//!    faults collapse onto the corresponding output faults.
+//! 2. **Fanout-free stem/branch equivalence**: when a net has exactly one
+//!    load, the driver's output-pin faults are equivalent to the load's
+//!    input-pin faults of the same polarity.
+//!
+//! The result is a set of equivalence classes over the uncollapsed universe;
+//! commercial tools typically report both numbers, and the paper's Table I is
+//! expressed on the uncollapsed universe.
+
+use crate::{FaultList, FaultSite, StuckAt};
+use netlist::{CellKind, Netlist};
+
+/// Union-find over fault indices.
+#[derive(Clone, Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // Deterministic: smaller index becomes the representative.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// The result of fault collapsing: a representative fault index per
+/// equivalence class.
+#[derive(Clone, Debug)]
+pub struct CollapsedFaults {
+    representative: Vec<usize>,
+    num_classes: usize,
+}
+
+impl CollapsedFaults {
+    /// The universe index of the representative fault of the class `fault_index`
+    /// belongs to.
+    pub fn representative_of(&self, fault_index: usize) -> usize {
+        self.representative[fault_index]
+    }
+
+    /// Number of equivalence classes (the "collapsed fault count").
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The collapse ratio `collapsed / uncollapsed` (1.0 when nothing
+    /// collapsed, smaller otherwise).
+    pub fn collapse_ratio(&self) -> f64 {
+        if self.representative.is_empty() {
+            1.0
+        } else {
+            self.num_classes as f64 / self.representative.len() as f64
+        }
+    }
+
+    /// Indices of the representative faults, sorted.
+    pub fn representatives(&self) -> Vec<usize> {
+        let mut reps: Vec<usize> = self.representative.clone();
+        reps.sort_unstable();
+        reps.dedup();
+        reps
+    }
+}
+
+/// Collapses the fault universe of `list` over `netlist`.
+///
+/// Faults in the list that refer to cells outside the netlist are left in
+/// singleton classes.
+pub fn collapse(netlist: &Netlist, list: &FaultList) -> CollapsedFaults {
+    let mut uf = UnionFind::new(list.len());
+
+    let fault_index = |fault: StuckAt| list.index_of(fault);
+
+    // Rule 1: gate-local equivalences.
+    for (cell_id, cell) in netlist.live_cells() {
+        let kind = cell.kind();
+        match kind {
+            CellKind::Buf | CellKind::Not => {
+                let inverting = kind == CellKind::Not;
+                for value in [false, true] {
+                    let input = StuckAt::input(cell_id, 0, value);
+                    let output = StuckAt::output(cell_id, value ^ inverting);
+                    if let (Some(a), Some(b)) = (fault_index(input), fault_index(output)) {
+                        uf.union(a, b);
+                    }
+                }
+            }
+            _ => {
+                if let (Some(cv), Some(inv)) = (kind.controlling_value(), kind.is_inverting()) {
+                    let output = StuckAt::output(cell_id, cv ^ inv);
+                    if let Some(out_idx) = fault_index(output) {
+                        for pin in 0..cell.inputs().len() {
+                            let input = StuckAt::input(cell_id, pin as netlist::PinIndex, cv);
+                            if let Some(in_idx) = fault_index(input) {
+                                uf.union(in_idx, out_idx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Rule 2: fanout-free stem/branch equivalence.
+    for net in netlist.net_ids() {
+        let loads = netlist.loads_of(net);
+        let live_loads: Vec<_> = loads
+            .iter()
+            .filter(|l| !netlist.cell(l.cell).is_dead())
+            .collect();
+        if live_loads.len() != 1 {
+            continue;
+        }
+        let Some(driver) = netlist.driver_of(net) else {
+            continue;
+        };
+        if netlist.cell(driver).is_dead() {
+            continue;
+        }
+        let load = live_loads[0];
+        for value in [false, true] {
+            let stem = StuckAt::output(driver, value);
+            let branch = StuckAt::new(
+                FaultSite::CellInput {
+                    cell: load.cell,
+                    pin: load.pin,
+                },
+                value,
+            );
+            if let (Some(a), Some(b)) = (fault_index(stem), fault_index(branch)) {
+                uf.union(a, b);
+            }
+        }
+    }
+
+    let mut representative = vec![0usize; list.len()];
+    for i in 0..list.len() {
+        representative[i] = uf.find(i);
+    }
+    let mut reps: Vec<usize> = representative.clone();
+    reps.sort_unstable();
+    reps.dedup();
+    CollapsedFaults {
+        num_classes: reps.len(),
+        representative,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::NetlistBuilder;
+
+    #[test]
+    fn inverter_chain_collapses_hard() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let mut cur = a;
+        for _ in 0..4 {
+            cur = b.not(cur);
+        }
+        b.output("y", cur);
+        let n = b.finish();
+        let list = FaultList::full_universe(&n);
+        let collapsed = collapse(&n, &list);
+        // Uncollapsed: input(1 pin) + 4 inverters(2 pins each) + output(1 pin) = 10 pins = 20 faults.
+        assert_eq!(list.len(), 20);
+        // Every inverter input fault collapses with its output fault, and every
+        // stem collapses with its single branch: only 2 classes remain.
+        assert_eq!(collapsed.num_classes(), 2);
+        assert!(collapsed.collapse_ratio() < 0.2);
+    }
+
+    #[test]
+    fn and_gate_collapse() {
+        let mut b = NetlistBuilder::new("and");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.and2(x, y);
+        b.output("z", z);
+        let n = b.finish();
+        let list = FaultList::full_universe(&n);
+        let collapsed = collapse(&n, &list);
+        // 12 uncollapsed faults; collapsing merges {A0/0, A1/0, Y/0} and each
+        // stem/branch pair on the fanout-free nets.
+        assert_eq!(list.len(), 12);
+        let and = n.find_cell("u_and_1").unwrap();
+        let a0_0 = list.index_of(StuckAt::input(and, 0, false)).unwrap();
+        let a1_0 = list.index_of(StuckAt::input(and, 1, false)).unwrap();
+        let y_0 = list.index_of(StuckAt::output(and, false)).unwrap();
+        assert_eq!(
+            collapsed.representative_of(a0_0),
+            collapsed.representative_of(a1_0)
+        );
+        assert_eq!(
+            collapsed.representative_of(a0_0),
+            collapsed.representative_of(y_0)
+        );
+        // Stuck-at-1 on inputs are NOT equivalent to each other.
+        let a0_1 = list.index_of(StuckAt::input(and, 0, true)).unwrap();
+        let a1_1 = list.index_of(StuckAt::input(and, 1, true)).unwrap();
+        assert_ne!(
+            collapsed.representative_of(a0_1),
+            collapsed.representative_of(a1_1)
+        );
+        assert!(collapsed.num_classes() < list.len());
+    }
+
+    #[test]
+    fn fanout_stems_do_not_collapse_with_branches() {
+        let mut b = NetlistBuilder::new("fanout");
+        let a = b.input("a");
+        let y1 = b.not(a);
+        let y2 = b.buf(a);
+        b.output("y1", y1);
+        b.output("y2", y2);
+        let n = b.finish();
+        let list = FaultList::full_universe(&n);
+        let collapsed = collapse(&n, &list);
+        let input_cell = n.primary_inputs()[0];
+        let inv = n.driver_of(y1).unwrap();
+        let stem0 = list.index_of(StuckAt::output(input_cell, false)).unwrap();
+        let branch0 = list.index_of(StuckAt::input(inv, 0, false)).unwrap();
+        assert_ne!(
+            collapsed.representative_of(stem0),
+            collapsed.representative_of(branch0),
+            "net `a` has two loads, stem and branch faults stay distinct"
+        );
+    }
+
+    #[test]
+    fn xor_gates_do_not_collapse_inputs() {
+        let mut b = NetlistBuilder::new("xor");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.xor2(x, y);
+        b.output("z", z);
+        let n = b.finish();
+        let list = FaultList::full_universe(&n);
+        let collapsed = collapse(&n, &list);
+        let g = n.find_cell("u_xor_1").unwrap();
+        let a0_0 = list.index_of(StuckAt::input(g, 0, false)).unwrap();
+        let y_0 = list.index_of(StuckAt::output(g, false)).unwrap();
+        assert_ne!(
+            collapsed.representative_of(a0_0),
+            collapsed.representative_of(y_0)
+        );
+    }
+
+    #[test]
+    fn representatives_cover_all_faults() {
+        let mut b = NetlistBuilder::new("misc");
+        let a = b.input_bus("a", 3);
+        let s = b.input("s");
+        let m = b.mux2(a[0], a[1], s);
+        let o = b.or2(m, a[2]);
+        b.output("o", o);
+        let n = b.finish();
+        let list = FaultList::full_universe(&n);
+        let collapsed = collapse(&n, &list);
+        let reps = collapsed.representatives();
+        assert_eq!(reps.len(), collapsed.num_classes());
+        for i in 0..list.len() {
+            assert!(reps.contains(&collapsed.representative_of(i)));
+        }
+    }
+}

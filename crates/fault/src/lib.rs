@@ -1,0 +1,41 @@
+//! Stuck-at fault universe for the DATE 2013 on-line untestability
+//! reproduction: fault sites, fault lists, equivalence collapsing, fault
+//! classes (including the paper's *on-line functionally untestable* class)
+//! and coverage reporting.
+//!
+//! # Examples
+//!
+//! ```
+//! use faultmodel::{FaultClass, FaultList, StuckAt, UntestableSource};
+//! use netlist::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new("demo");
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let y = b.and2(a, c);
+//! b.output("y", y);
+//! let n = b.finish();
+//!
+//! let mut faults = FaultList::full_universe(&n);
+//! let and = n.driver_of(y).unwrap();
+//! faults.classify(
+//!     StuckAt::input(and, 0, true),
+//!     FaultClass::OnlineUntestable(UntestableSource::Scan),
+//! );
+//! assert_eq!(faults.counts().online_untestable_total(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod class;
+mod collapse;
+mod list;
+mod report;
+mod site;
+
+pub use class::{FaultClass, UntestableSource};
+pub use collapse::{collapse, CollapsedFaults};
+pub use list::FaultList;
+pub use report::{ClassCounts, SummaryRow, UntestableSummary};
+pub use site::{FaultSite, StuckAt};

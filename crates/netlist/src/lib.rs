@@ -1,0 +1,55 @@
+//! Gate-level netlist infrastructure for the reproduction of
+//! *"On-Line Functionally Untestable Fault Identification in Embedded
+//! Processor Cores"* (Bernardi et al., DATE 2013).
+//!
+//! This crate provides the structural substrate every other crate in the
+//! workspace builds on:
+//!
+//! * a small but complete **cell library** ([`CellKind`]): gates, 2-to-1
+//!   muxes, D and mux-scan flip-flops, tie cells and port pseudo-cells;
+//! * a flat, arena-indexed **netlist** ([`Netlist`]) with structural editing
+//!   operations (rewiring, driver detachment, cell removal) used by the
+//!   circuit-manipulation steps of the paper;
+//! * an ergonomic **builder** ([`NetlistBuilder`]) with word-level helpers
+//!   (adders, muxes, registers, shifters, comparators) used by the processor
+//!   generators;
+//! * **graph algorithms** ([`graph`]): levelization, fan-in/fan-out cones;
+//! * **validation** ([`validate`]) and **statistics** ([`stats`]);
+//! * a **structural Verilog** subset reader/writer ([`verilog`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::{NetlistBuilder, stats::stats};
+//!
+//! let mut b = NetlistBuilder::new("mini");
+//! let a = b.input_bus("a", 8);
+//! let c = b.input_bus("b", 8);
+//! let zero = b.tie0();
+//! let (sum, carry) = b.ripple_adder(&a, &c, zero);
+//! b.output_bus("sum", &sum);
+//! b.output("cout", carry);
+//! let design = b.finish();
+//! let s = stats(&design);
+//! assert_eq!(s.primary_inputs, 16);
+//! assert!(s.stuck_at_faults() > 100);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod cell;
+pub mod graph;
+mod ids;
+#[allow(clippy::module_inception)]
+mod netlist;
+pub mod stats;
+pub mod validate;
+pub mod verilog;
+
+pub use builder::{NetlistBuilder, Word};
+pub use cell::{Cell, CellAttrs, CellKind, Reset};
+pub use ids::{CellId, NetId, PinIndex, PinRef};
+pub use netlist::{Net, Netlist, NetlistError};
+pub use stats::NetlistStats;

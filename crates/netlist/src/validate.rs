@@ -1,0 +1,255 @@
+//! Design-rule validation for netlists.
+
+use crate::{graph, CellKind, Netlist};
+use std::fmt;
+
+/// A single validation finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationIssue {
+    /// A net has no driver (and floating nets were not allowed).
+    FloatingNet {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// A net has no loads at all (dangling driver). Reported as a warning-level
+    /// issue; it does not make the design unusable.
+    UnloadedNet {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// The combinational logic contains a cycle.
+    CombinationalLoop {
+        /// Instance name of a cell on the loop.
+        cell: String,
+    },
+    /// A sequential cell's clock pin is driven by combinational logic other
+    /// than a buffer tree rooted at a primary input (gated or generated
+    /// clocks are not supported by the simulators in this workspace).
+    UnsupportedClock {
+        /// Instance name of the flip-flop.
+        cell: String,
+    },
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::FloatingNet { net } => write!(f, "net `{net}` has no driver"),
+            ValidationIssue::UnloadedNet { net } => write!(f, "net `{net}` has no loads"),
+            ValidationIssue::CombinationalLoop { cell } => {
+                write!(f, "combinational loop through `{cell}`")
+            }
+            ValidationIssue::UnsupportedClock { cell } => {
+                write!(f, "flip-flop `{cell}` has a gated or generated clock")
+            }
+        }
+    }
+}
+
+/// Options controlling which rules [`validate`] applies.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidateOptions {
+    /// Allow nets without a driver (true after manipulation steps that float
+    /// debug outputs).
+    pub allow_floating_nets: bool,
+    /// Allow nets without any load.
+    pub allow_unloaded_nets: bool,
+    /// Check that flip-flop clock pins trace back to a primary input through
+    /// buffers/inverters only.
+    pub check_clocks: bool,
+}
+
+impl Default for ValidateOptions {
+    fn default() -> Self {
+        ValidateOptions {
+            allow_floating_nets: false,
+            allow_unloaded_nets: true,
+            check_clocks: true,
+        }
+    }
+}
+
+/// Validates structural design rules, returning every issue found.
+///
+/// An empty result means the netlist is clean under the given options.
+pub fn validate(netlist: &Netlist, options: ValidateOptions) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+
+    for net_id in netlist.net_ids() {
+        let net = netlist.net(net_id);
+        let has_live_loads = net
+            .loads()
+            .iter()
+            .any(|l| !netlist.cell(l.cell).is_dead());
+        let has_live_driver = net
+            .driver()
+            .map(|d| !netlist.cell(d).is_dead())
+            .unwrap_or(false);
+        if !has_live_driver && !has_live_loads {
+            // Completely dangling nets (e.g. after cell removal) are ignored.
+            continue;
+        }
+        if !has_live_driver && !options.allow_floating_nets {
+            issues.push(ValidationIssue::FloatingNet {
+                net: net.name().to_string(),
+            });
+        }
+        if !has_live_loads && !options.allow_unloaded_nets {
+            issues.push(ValidationIssue::UnloadedNet {
+                net: net.name().to_string(),
+            });
+        }
+    }
+
+    if let Err(looped) = graph::levelize(netlist) {
+        issues.push(ValidationIssue::CombinationalLoop {
+            cell: looped.cell_name,
+        });
+    }
+
+    if options.check_clocks {
+        for ff in netlist.sequential_cells() {
+            let kind = netlist.cell(ff).kind();
+            let Some(clock_pin) = kind.clock_pin() else {
+                continue;
+            };
+            let mut net = netlist.input_net(ff, clock_pin);
+            let mut ok = false;
+            // Walk backwards through buffers and inverters only.
+            for _ in 0..netlist.num_cells() + 1 {
+                match netlist.driver_of(net) {
+                    None => break,
+                    Some(driver) => {
+                        let dk = netlist.cell(driver).kind();
+                        match dk {
+                            CellKind::Input | CellKind::Tie0 | CellKind::Tie1 => {
+                                ok = true;
+                                break;
+                            }
+                            CellKind::Buf | CellKind::Not => {
+                                net = netlist.input_net(driver, 0);
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+            }
+            if !ok {
+                issues.push(ValidationIssue::UnsupportedClock {
+                    cell: netlist.cell(ff).name().to_string(),
+                });
+            }
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, Netlist, NetlistBuilder};
+
+    #[test]
+    fn clean_design_validates() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let ck = b.input("ck");
+        let x = b.not(a);
+        let q = b.dff(x, ck);
+        b.output("q", q);
+        let n = b.finish();
+        assert!(validate(&n, ValidateOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn floating_net_reported() {
+        let mut nl = Netlist::new("t");
+        let w = nl.add_net("w");
+        nl.add_output("w", w);
+        let issues = validate(&nl, ValidateOptions::default());
+        assert_eq!(
+            issues,
+            vec![ValidationIssue::FloatingNet {
+                net: "w".to_string()
+            }]
+        );
+        let relaxed = validate(
+            &nl,
+            ValidateOptions {
+                allow_floating_nets: true,
+                ..ValidateOptions::default()
+            },
+        );
+        assert!(relaxed.is_empty());
+    }
+
+    #[test]
+    fn unloaded_net_reported_when_requested() {
+        let mut nl = Netlist::new("t");
+        let (_, _a) = nl.add_input("a");
+        let strict = validate(
+            &nl,
+            ValidateOptions {
+                allow_unloaded_nets: false,
+                ..ValidateOptions::default()
+            },
+        );
+        assert!(matches!(strict[0], ValidationIssue::UnloadedNet { .. }));
+    }
+
+    #[test]
+    fn loop_reported() {
+        let mut nl = Netlist::new("loop");
+        let (_, a) = nl.add_input("a");
+        let w1 = nl.add_net("w1");
+        let w2 = nl.add_net("w2");
+        nl.add_cell(CellKind::And(2), "g1", &[a, w2], Some(w1));
+        nl.add_cell(CellKind::Buf, "g2", &[w1], Some(w2));
+        nl.add_output("y", w1);
+        let issues = validate(&nl, ValidateOptions::default());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::CombinationalLoop { .. })));
+    }
+
+    #[test]
+    fn gated_clock_reported() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let ck = b.input("ck");
+        let en = b.input("en");
+        let gated = b.and2(ck, en);
+        let q = b.dff(a, gated);
+        b.output("q", q);
+        let n = b.finish();
+        let issues = validate(&n, ValidateOptions::default());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::UnsupportedClock { .. })));
+        let relaxed = validate(
+            &n,
+            ValidateOptions {
+                check_clocks: false,
+                ..ValidateOptions::default()
+            },
+        );
+        assert!(relaxed.is_empty());
+    }
+
+    #[test]
+    fn dead_cells_do_not_trigger_floating() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let x = b.not(a);
+        b.output("y", x);
+        let mut n = b.finish();
+        let inv = n.driver_of(x).unwrap();
+        let out_cell = n.primary_outputs()[0];
+        n.remove_cell(out_cell);
+        n.remove_cell(inv);
+        // `x` now has neither driver nor loads — ignored.
+        let issues = validate(&n, ValidateOptions::default());
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+}

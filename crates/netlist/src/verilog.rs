@@ -1,0 +1,555 @@
+//! Structural Verilog subset reader and writer.
+//!
+//! The supported subset is the flat, purely structural style produced by the
+//! writer itself (and by typical synthesis netlists restricted to this cell
+//! library): one `module` with port declarations, `wire` declarations and
+//! named-port instantiations of library cells. Behavioural constructs are not
+//! supported.
+
+use crate::{CellKind, NetId, Netlist};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while parsing structural Verilog.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line where the problem was detected (1-based).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verilog parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn needs_escape(name: &str) -> bool {
+    name.is_empty()
+        || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        || name
+            .chars()
+            .any(|c| !(c.is_ascii_alphanumeric() || c == '_' || c == '$'))
+}
+
+fn emit_name(name: &str) -> String {
+    if needs_escape(name) {
+        format!("\\{name} ")
+    } else {
+        name.to_string()
+    }
+}
+
+/// Serialises a netlist to structural Verilog.
+///
+/// Primary ports take the names of the nets they drive/observe; every other
+/// net becomes a `wire`. Dead cells are skipped.
+pub fn write_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let mut input_nets = Vec::new();
+    let mut output_nets = Vec::new();
+    for pi in netlist.primary_inputs() {
+        if let Some(net) = netlist.output_net(pi) {
+            input_nets.push(net);
+        }
+    }
+    for po in netlist.primary_outputs() {
+        let net = netlist.cell(po).inputs()[0];
+        if !output_nets.contains(&net) && !input_nets.contains(&net) {
+            output_nets.push(net);
+        }
+    }
+
+    let port_list: Vec<String> = input_nets
+        .iter()
+        .chain(output_nets.iter())
+        .map(|&n| emit_name(netlist.net(n).name()))
+        .collect();
+    out.push_str(&format!(
+        "module {} ({});\n",
+        emit_name(netlist.name()),
+        port_list.join(", ")
+    ));
+    for &n in &input_nets {
+        out.push_str(&format!("  input {};\n", emit_name(netlist.net(n).name())));
+    }
+    for &n in &output_nets {
+        out.push_str(&format!("  output {};\n", emit_name(netlist.net(n).name())));
+    }
+    for net_id in netlist.net_ids() {
+        if input_nets.contains(&net_id) || output_nets.contains(&net_id) {
+            continue;
+        }
+        let net = netlist.net(net_id);
+        let live = net
+            .driver()
+            .map(|d| !netlist.cell(d).is_dead())
+            .unwrap_or(false)
+            || net.loads().iter().any(|l| !netlist.cell(l.cell).is_dead());
+        if live {
+            out.push_str(&format!("  wire {};\n", emit_name(net.name())));
+        }
+    }
+    out.push('\n');
+    for (_, cell) in netlist.live_cells() {
+        let kind = cell.kind();
+        if kind.is_port() {
+            continue;
+        }
+        let mut conns: Vec<String> = Vec::new();
+        for (pin, &net) in cell.inputs().iter().enumerate() {
+            conns.push(format!(
+                ".{}({})",
+                kind.input_pin_name(pin),
+                emit_name(netlist.net(net).name())
+            ));
+        }
+        if let Some(out_net) = cell.output() {
+            conns.push(format!(
+                ".{}({})",
+                kind.output_pin_name(),
+                emit_name(netlist.net(out_net).name())
+            ));
+        }
+        out.push_str(&format!(
+            "  {} {} ({});\n",
+            kind.lib_name(),
+            emit_name(cell.name()),
+            conns.join(", ")
+        ));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Symbol(char),
+}
+
+struct Lexer<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer { text, pos: 0, line: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.text[self.pos..].chars().next()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.text[self.pos..].chars().next()
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    let rest = &self.text[self.pos..];
+                    if rest.starts_with("//") {
+                        while let Some(c) = self.bump() {
+                            if c == '\n' {
+                                break;
+                            }
+                        }
+                    } else if rest.starts_with("/*") {
+                        self.bump();
+                        self.bump();
+                        loop {
+                            match self.bump() {
+                                Some('*') if self.peek() == Some('/') => {
+                                    self.bump();
+                                    break;
+                                }
+                                Some(_) => {}
+                                None => return Err(self.error("unterminated block comment")),
+                            }
+                        }
+                    } else {
+                        return Ok(());
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, ParseError> {
+        self.skip_ws_and_comments()?;
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
+        if c == '\\' {
+            // Escaped identifier: backslash up to whitespace.
+            self.bump();
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                self.bump();
+            }
+            return Ok(Some(Token::Ident(self.text[start..self.pos].to_string())));
+        }
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' || c.is_ascii_digit() {
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(Some(Token::Ident(self.text[start..self.pos].to_string())));
+        }
+        self.bump();
+        Ok(Some(Token::Symbol(c)))
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    lookahead: Option<Token>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(text);
+        let lookahead = lexer.next_token()?;
+        Ok(Parser { lexer, lookahead })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.lookahead.as_ref()
+    }
+
+    fn advance(&mut self) -> Result<Option<Token>, ParseError> {
+        let current = self.lookahead.take();
+        self.lookahead = self.lexer.next_token()?;
+        Ok(current)
+    }
+
+    fn expect_symbol(&mut self, sym: char) -> Result<(), ParseError> {
+        match self.advance()? {
+            Some(Token::Symbol(c)) if c == sym => Ok(()),
+            other => Err(self
+                .lexer
+                .error(format!("expected `{sym}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.advance()? {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self
+                .lexer
+                .error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let ident = self.expect_ident()?;
+        if ident == kw {
+            Ok(())
+        } else {
+            Err(self.lexer.error(format!("expected `{kw}`, found `{ident}`")))
+        }
+    }
+
+    fn ident_list_until_semicolon(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut names = Vec::new();
+        loop {
+            names.push(self.expect_ident()?);
+            match self.advance()? {
+                Some(Token::Symbol(',')) => continue,
+                Some(Token::Symbol(';')) => break,
+                other => {
+                    return Err(self
+                        .lexer
+                        .error(format!("expected `,` or `;`, found {other:?}")))
+                }
+            }
+        }
+        Ok(names)
+    }
+}
+
+/// Parses a single structural Verilog module into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on any syntax error, reference to an undeclared
+/// net, or instantiation of a cell type outside the library.
+pub fn parse_verilog(text: &str) -> Result<Netlist, ParseError> {
+    let mut p = Parser::new(text)?;
+    p.expect_keyword("module")?;
+    let module_name = p.expect_ident()?;
+    let mut netlist = Netlist::new(module_name);
+    // Port list (names only; direction comes from the declarations).
+    p.expect_symbol('(')?;
+    loop {
+        match p.advance()? {
+            Some(Token::Symbol(')')) => break,
+            Some(Token::Ident(_)) | Some(Token::Symbol(',')) => continue,
+            other => {
+                return Err(p
+                    .lexer
+                    .error(format!("unexpected token in port list: {other:?}")))
+            }
+        }
+    }
+    p.expect_symbol(';')?;
+
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+    let mut pending_outputs: Vec<String> = Vec::new();
+
+    loop {
+        let Some(tok) = p.peek().cloned() else {
+            return Err(p.lexer.error("unexpected end of file, missing `endmodule`"));
+        };
+        let Token::Ident(word) = tok else {
+            return Err(p.lexer.error(format!("unexpected token {tok:?}")));
+        };
+        match word.as_str() {
+            "endmodule" => {
+                p.advance()?;
+                break;
+            }
+            "input" => {
+                p.advance()?;
+                for name in p.ident_list_until_semicolon()? {
+                    let (_, net) = netlist.add_input(&name);
+                    nets.insert(name, net);
+                }
+            }
+            "output" => {
+                p.advance()?;
+                for name in p.ident_list_until_semicolon()? {
+                    // The Output pseudo-cell is created after all instances,
+                    // once the net exists and has a driver.
+                    let net = *nets
+                        .entry(name.clone())
+                        .or_insert_with(|| netlist.add_net(&name));
+                    let _ = net;
+                    pending_outputs.push(name);
+                }
+            }
+            "wire" => {
+                p.advance()?;
+                for name in p.ident_list_until_semicolon()? {
+                    nets.entry(name.clone()).or_insert_with(|| netlist.add_net(&name));
+                }
+            }
+            _ => {
+                // Cell instance: TYPE name ( .PIN(net), ... );
+                p.advance()?;
+                let kind = CellKind::from_lib_name(&word)
+                    .ok_or_else(|| p.lexer.error(format!("unknown cell type `{word}`")))?;
+                let inst_name = p.expect_ident()?;
+                p.expect_symbol('(')?;
+                let mut connections: HashMap<String, String> = HashMap::new();
+                loop {
+                    match p.advance()? {
+                        Some(Token::Symbol(')')) => break,
+                        Some(Token::Symbol(',')) => continue,
+                        Some(Token::Symbol('.')) => {
+                            let pin = p.expect_ident()?;
+                            p.expect_symbol('(')?;
+                            let net = p.expect_ident()?;
+                            p.expect_symbol(')')?;
+                            connections.insert(pin, net);
+                        }
+                        other => {
+                            return Err(p
+                                .lexer
+                                .error(format!("unexpected token in connections: {other:?}")))
+                        }
+                    }
+                }
+                p.expect_symbol(';')?;
+                let mut input_ids = Vec::with_capacity(kind.num_inputs());
+                for pin in 0..kind.num_inputs() {
+                    let pin_name = kind.input_pin_name(pin).into_owned();
+                    let net_name = connections.get(&pin_name).ok_or_else(|| {
+                        p.lexer.error(format!(
+                            "instance `{inst_name}`: missing connection for pin `{pin_name}`"
+                        ))
+                    })?;
+                    let net = *nets.get(net_name).ok_or_else(|| {
+                        p.lexer
+                            .error(format!("instance `{inst_name}`: undeclared net `{net_name}`"))
+                    })?;
+                    input_ids.push(net);
+                }
+                let output_id = if kind.has_output() {
+                    let pin_name = kind.output_pin_name();
+                    let net_name = connections.get(pin_name).ok_or_else(|| {
+                        p.lexer.error(format!(
+                            "instance `{inst_name}`: missing connection for pin `{pin_name}`"
+                        ))
+                    })?;
+                    Some(*nets.get(net_name).ok_or_else(|| {
+                        p.lexer
+                            .error(format!("instance `{inst_name}`: undeclared net `{net_name}`"))
+                    })?)
+                } else {
+                    None
+                };
+                netlist
+                    .try_add_cell(kind, &inst_name, &input_ids, output_id)
+                    .map_err(|e| p.lexer.error(e.to_string()))?;
+            }
+        }
+    }
+
+    for name in pending_outputs {
+        let net = nets[&name];
+        netlist.add_output(&name, net);
+    }
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{stats::stats, NetlistBuilder};
+
+    #[test]
+    fn writer_emits_all_live_cells() {
+        let mut b = NetlistBuilder::new("half_adder");
+        let a = b.input("a");
+        let c = b.input("b");
+        let s = b.xor2(a, c);
+        let cy = b.and2(a, c);
+        b.output("sum", s);
+        b.output("carry", cy);
+        let n = b.finish();
+        let text = write_verilog(&n);
+        assert!(text.contains("module half_adder"));
+        assert!(text.contains("XOR2"));
+        assert!(text.contains("AND2"));
+        assert!(text.contains("endmodule"));
+    }
+
+    #[test]
+    fn parse_simple_module() {
+        let src = r"
+// a half adder
+module ha (a, b, s, c);
+  input a, b;
+  output s, c;
+  XOR2 u1 (.A0(a), .A1(b), .Y(s));
+  AND2 u2 (.A0(a), .A1(b), .Y(c));
+endmodule
+";
+        let n = parse_verilog(src).unwrap();
+        assert_eq!(n.name(), "ha");
+        assert_eq!(n.primary_inputs().len(), 2);
+        assert_eq!(n.primary_outputs().len(), 2);
+        let s = stats(&n);
+        assert_eq!(s.combinational_cells, 2);
+    }
+
+    #[test]
+    fn parse_sequential_and_block_comment() {
+        let src = r"
+module seq (d, ck, q);
+  input d, ck; /* the
+  clock */
+  output q;
+  DFF ff (.D(d), .CK(ck), .Q(q));
+endmodule
+";
+        let n = parse_verilog(src).unwrap();
+        assert_eq!(n.sequential_cells().len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let mut b = NetlistBuilder::new("rt");
+        let a = b.input_bus("a", 4);
+        let c = b.input_bus("b", 4);
+        let ck = b.input("ck");
+        let zero = b.tie0();
+        let (sum, _) = b.ripple_adder(&a, &c, zero);
+        let q = b.register(&sum, ck);
+        b.output_bus("q", &q);
+        let n = b.finish();
+        let text = write_verilog(&n);
+        let parsed = parse_verilog(&text).unwrap();
+        let s1 = stats(&n);
+        let s2 = stats(&parsed);
+        assert_eq!(s1.combinational_cells, s2.combinational_cells);
+        assert_eq!(s1.flip_flops, s2.flip_flops);
+        assert_eq!(s1.primary_inputs, s2.primary_inputs);
+        assert_eq!(s1.primary_outputs, s2.primary_outputs);
+        assert_eq!(s1.tie_cells, s2.tie_cells);
+    }
+
+    #[test]
+    fn escaped_identifiers_roundtrip() {
+        let mut b = NetlistBuilder::new("esc");
+        let a = b.input_bus("data.in", 2);
+        let y = b.and2(a[0], a[1]);
+        b.output("out[0]", y);
+        let n = b.finish();
+        let text = write_verilog(&n);
+        assert!(text.contains('\\'));
+        let parsed = parse_verilog(&text).unwrap();
+        assert_eq!(parsed.primary_inputs().len(), 2);
+        assert_eq!(parsed.primary_outputs().len(), 1);
+    }
+
+    #[test]
+    fn unknown_cell_type_is_an_error() {
+        let src = "module m (a, y); input a; output y; FOO u1 (.A(a), .Y(y)); endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.message.contains("unknown cell type"));
+    }
+
+    #[test]
+    fn missing_pin_is_an_error() {
+        let src = "module m (a, y); input a; output y; AND2 u1 (.A0(a), .Y(y)); endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.message.contains("missing connection"));
+    }
+
+    #[test]
+    fn undeclared_net_is_an_error() {
+        let src = "module m (a, y); input a; output y; INV u1 (.A(zz), .Y(y)); endmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.message.contains("undeclared net"));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "module m (a);\ninput a;\n???\nendmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert!(err.line >= 3, "line was {}", err.line);
+        assert!(err.to_string().contains("line"));
+    }
+}

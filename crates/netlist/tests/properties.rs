@@ -1,0 +1,217 @@
+//! Property-based tests on the netlist data structures and the word-level
+//! builder helpers.
+
+use netlist::{graph, stats::stats, verilog, CellKind, NetId, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Recursive two-valued evaluation used as a reference model in properties.
+fn eval(netlist: &Netlist, env: &HashMap<NetId, bool>, net: NetId) -> bool {
+    if let Some(&v) = env.get(&net) {
+        return v;
+    }
+    let driver = netlist.driver_of(net).expect("floating net");
+    let cell = netlist.cell(driver);
+    let inputs: Vec<bool> = cell
+        .inputs()
+        .iter()
+        .map(|&n| eval(netlist, env, n))
+        .collect();
+    cell.kind().eval_bool(&inputs).expect("sequential in eval")
+}
+
+fn word_value(netlist: &Netlist, env: &HashMap<NetId, bool>, word: &[NetId]) -> u64 {
+    word.iter()
+        .enumerate()
+        .map(|(i, &n)| (eval(netlist, env, n) as u64) << i)
+        .sum()
+}
+
+fn assign(word: &[NetId], value: u64, env: &mut HashMap<NetId, bool>) {
+    for (i, &n) in word.iter().enumerate() {
+        env.insert(n, (value >> i) & 1 == 1);
+    }
+}
+
+proptest! {
+    #[test]
+    fn adder_matches_integer_addition(a in 0u64..=0xffff, b in 0u64..=0xffff, cin in 0u64..=1) {
+        let mut builder = NetlistBuilder::new("padd");
+        let aw = builder.input_bus("a", 16);
+        let bw = builder.input_bus("b", 16);
+        let ci = builder.input("cin");
+        let (sum, cout) = builder.ripple_adder(&aw, &bw, ci);
+        let n = builder.finish();
+        let mut env = HashMap::new();
+        assign(&aw, a, &mut env);
+        assign(&bw, b, &mut env);
+        env.insert(ci, cin == 1);
+        let got = word_value(&n, &env, &sum) + ((eval(&n, &env, cout) as u64) << 16);
+        prop_assert_eq!(got, a + b + cin);
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping_sub(a in 0u64..=0xfff, b in 0u64..=0xfff) {
+        let mut builder = NetlistBuilder::new("psub");
+        let aw = builder.input_bus("a", 12);
+        let bw = builder.input_bus("b", 12);
+        let (diff, geq) = builder.subtractor(&aw, &bw);
+        let n = builder.finish();
+        let mut env = HashMap::new();
+        assign(&aw, a, &mut env);
+        assign(&bw, b, &mut env);
+        prop_assert_eq!(word_value(&n, &env, &diff), a.wrapping_sub(b) & 0xfff);
+        prop_assert_eq!(eval(&n, &env, geq), a >= b);
+    }
+
+    #[test]
+    fn shifter_matches_shift(a in 0u64..=0xffff, amt in 0u64..16) {
+        let mut builder = NetlistBuilder::new("pshift");
+        let aw = builder.input_bus("a", 16);
+        let amtw = builder.input_bus("amt", 4);
+        let sl = builder.shift_left(&aw, &amtw);
+        let sr = builder.shift_right(&aw, &amtw);
+        let n = builder.finish();
+        let mut env = HashMap::new();
+        assign(&aw, a, &mut env);
+        assign(&amtw, amt, &mut env);
+        prop_assert_eq!(word_value(&n, &env, &sl), (a << amt) & 0xffff);
+        prop_assert_eq!(word_value(&n, &env, &sr), a >> amt);
+    }
+
+    #[test]
+    fn mux_tree_picks_selected_word(values in prop::collection::vec(0u64..256, 8), sel in 0u64..8) {
+        let mut builder = NetlistBuilder::new("pmux");
+        let words: Vec<Vec<NetId>> = values.iter().map(|&v| builder.const_word(v, 8)).collect();
+        let selw = builder.input_bus("sel", 3);
+        let out = builder.mux_tree(&words, &selw);
+        let n = builder.finish();
+        let mut env = HashMap::new();
+        assign(&selw, sel, &mut env);
+        prop_assert_eq!(word_value(&n, &env, &out), values[sel as usize]);
+    }
+
+    #[test]
+    fn levelization_is_a_valid_topological_order(widths in prop::collection::vec(1usize..4, 1..6)) {
+        // Build a random-ish layered circuit: each layer ANDs/XORs adjacent
+        // nets of the previous layer.
+        let mut builder = NetlistBuilder::new("plevel");
+        let mut layer = builder.input_bus("in", 6);
+        for (li, &w) in widths.iter().enumerate() {
+            let mut next = Vec::new();
+            for i in 0..layer.len().saturating_sub(1) {
+                let g = if (i + li + w) % 2 == 0 {
+                    builder.and2(layer[i], layer[i + 1])
+                } else {
+                    builder.xor2(layer[i], layer[i + 1])
+                };
+                next.push(g);
+            }
+            if next.is_empty() {
+                break;
+            }
+            layer = next;
+        }
+        builder.output_bus("out", &layer);
+        let n = builder.finish();
+        let lev = graph::levelize(&n).unwrap();
+        // Every cell appears after all of its combinational drivers.
+        let mut position = HashMap::new();
+        for (idx, &cell) in lev.order.iter().enumerate() {
+            position.insert(cell, idx);
+        }
+        for &cell in &lev.order {
+            for &input in n.cell(cell).inputs() {
+                if let Some(driver) = n.driver_of(input) {
+                    if n.cell(driver).kind().is_combinational() {
+                        prop_assert!(position[&driver] < position[&cell]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verilog_roundtrip_preserves_counts(width in 2usize..6, use_ff in any::<bool>()) {
+        let mut builder = NetlistBuilder::new("prt");
+        let a = builder.input_bus("a", width);
+        let b = builder.input_bus("b", width);
+        let ck = builder.input("ck");
+        let x = builder.xor_word(&a, &b);
+        let out = if use_ff { builder.register(&x, ck) } else { x };
+        builder.output_bus("y", &out);
+        let n = builder.finish();
+        let text = verilog::write_verilog(&n);
+        let parsed = verilog::parse_verilog(&text).unwrap();
+        let s1 = stats(&n);
+        let s2 = stats(&parsed);
+        prop_assert_eq!(s1.combinational_cells, s2.combinational_cells);
+        prop_assert_eq!(s1.flip_flops, s2.flip_flops);
+        prop_assert_eq!(s1.primary_inputs, s2.primary_inputs);
+        prop_assert_eq!(s1.primary_outputs, s2.primary_outputs);
+    }
+
+    #[test]
+    fn every_non_port_net_has_exactly_one_driver(width in 1usize..5) {
+        let mut builder = NetlistBuilder::new("pdrv");
+        let a = builder.input_bus("a", width);
+        let b = builder.input_bus("b", width);
+        let zero = builder.tie0();
+        let (sum, _) = builder.ripple_adder(&a, &b, zero);
+        builder.output_bus("s", &sum);
+        let n = builder.finish();
+        for net in n.net_ids() {
+            let drivers = n.driver_of(net).into_iter().count();
+            prop_assert_eq!(drivers, 1, "net {} drivers", n.net(net).name());
+        }
+        // And the number of loads recorded on nets matches the number of
+        // input pins in the design.
+        let pin_count: usize = n.live_cells().map(|(_, c)| c.inputs().len()).sum();
+        let load_count: usize = n.net_ids().map(|id| n.loads_of(id).len()).sum();
+        prop_assert_eq!(pin_count, load_count);
+    }
+}
+
+#[test]
+fn eq_const_agrees_with_equality_for_all_values() {
+    let mut builder = NetlistBuilder::new("peq");
+    let a = builder.input_bus("a", 6);
+    let targets: Vec<(u64, NetId)> = [0u64, 1, 31, 42, 63]
+        .iter()
+        .map(|&t| (t, builder.eq_const(&a, t)))
+        .collect();
+    let n = builder.finish();
+    for v in 0..64u64 {
+        let mut env = HashMap::new();
+        assign(&a, v, &mut env);
+        for &(t, net) in &targets {
+            assert_eq!(eval(&n, &env, net), v == t, "v={v} t={t}");
+        }
+    }
+}
+
+#[test]
+fn remove_cell_keeps_invariants() {
+    let mut builder = NetlistBuilder::new("prm");
+    let a = builder.input_bus("a", 4);
+    let b = builder.input_bus("b", 4);
+    let x = builder.and_word(&a, &b);
+    builder.output_bus("y", &x);
+    let mut n = builder.finish();
+    // Remove every AND gate; loads of the inputs must drop to zero.
+    let ands: Vec<_> = n
+        .live_cells()
+        .filter(|(_, c)| matches!(c.kind(), CellKind::And(_)))
+        .map(|(id, _)| id)
+        .collect();
+    for id in ands {
+        n.remove_cell(id);
+    }
+    for &net in a.iter().chain(b.iter()) {
+        assert!(n.loads_of(net).iter().all(|l| n.cell(l.cell).is_dead() || !n.cell(l.cell).is_dead() && n.cell(l.cell).kind() == CellKind::Output));
+        assert!(n
+            .loads_of(net)
+            .iter()
+            .all(|l| !n.cell(l.cell).kind().is_combinational()));
+    }
+}

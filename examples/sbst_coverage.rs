@@ -1,0 +1,86 @@
+//! The pay-off of the paper (§4): pruning on-line functionally untestable
+//! faults raises the fault-coverage figure reported for an SBST suite.
+//!
+//! The example grades the standard SBST suite on a reduced SoC against a
+//! random sample of the fault universe (fault sampling keeps the run short;
+//! the sampled coverage is an unbiased estimate of the full figure), then
+//! reports the coverage before and after pruning.
+//!
+//! Run with `cargo run --release --example sbst_coverage`.
+
+use atpg::FaultSim;
+use cpu::sbst::{standard_suite, suite_stimuli};
+use faultmodel::{FaultClass, StuckAt};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use untestable_repro::prelude::*;
+
+const SAMPLE_SIZE: usize = 1_500;
+
+fn main() {
+    let soc = SocBuilder::small().build();
+
+    // Step 1: identify the on-line functionally untestable faults.
+    let (report, classified) = IdentificationFlow::new(FlowConfig::default())
+        .run_with_faults(&soc)
+        .expect("identification flow");
+    println!("{report}");
+    println!();
+
+    // Step 2: sample the fault universe and grade the SBST suite against it.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2013);
+    let mut all_faults: Vec<StuckAt> = classified.faults().to_vec();
+    all_faults.shuffle(&mut rng);
+    let sample: Vec<StuckAt> = all_faults.into_iter().take(SAMPLE_SIZE).collect();
+
+    let suite = standard_suite();
+    let stimuli = suite_stimuli(&suite, &soc.interface, 2_000);
+    let sim = FaultSim::new(&soc.netlist).expect("fault simulator");
+    // Only the system bus is observable during the on-line test (§4).
+    let bus = &soc.interface.bus_output_ports;
+    let mut detected = vec![false; sample.len()];
+    for (program, stim) in suite.iter().zip(&stimuli) {
+        let hits = sim.detect_at(&sample, &stim.vectors, bus);
+        for (d, h) in detected.iter_mut().zip(hits) {
+            *d |= h;
+        }
+        println!(
+            "program {:<8} {:>5} cycles, cumulative detected {:>5}/{}",
+            program.name,
+            stim.vectors.len(),
+            detected.iter().filter(|&&d| d).count(),
+            sample.len()
+        );
+    }
+
+    // Step 3: compute the coverage figures.
+    let detected_count = detected.iter().filter(|&&d| d).count();
+    let untestable_in_sample = sample
+        .iter()
+        .filter(|&&f| {
+            classified
+                .class_of(f)
+                .map(FaultClass::is_untestable)
+                .unwrap_or(false)
+        })
+        .count();
+    let raw = detected_count as f64 / sample.len() as f64;
+    let pruned = detected_count as f64 / (sample.len() - untestable_in_sample) as f64;
+
+    println!();
+    println!("sampled faults              : {}", sample.len());
+    println!("detected by the SBST suite  : {detected_count}");
+    println!("untestable in the sample    : {untestable_in_sample}");
+    println!("coverage before pruning     : {:.1}%", raw * 100.0);
+    println!("coverage after pruning      : {:.1}%", pruned * 100.0);
+    println!(
+        "coverage gain from pruning  : {:+.1} percentage points",
+        (pruned - raw) * 100.0
+    );
+    println!();
+    println!(
+        "The paper reports a ~13 percentage-point rise on its industrial SoC\n\
+         once the 29,657 on-line functionally untestable faults are removed\n\
+         from the fault list."
+    );
+}

@@ -1,0 +1,122 @@
+//! End-to-end checks of the paper's headline claims on the generated SoC
+//! (shape, not absolute numbers — see EXPERIMENTS.md).
+
+use faultmodel::UntestableSource;
+use online_untestable::flow::{FlowConfig, IdentificationFlow};
+use untestable_repro::prelude::*;
+
+fn run_small() -> (cpu::soc::Soc, online_untestable::report::IdentificationReport) {
+    let soc = SocBuilder::small().build();
+    let report = IdentificationFlow::new(FlowConfig::default())
+        .run(&soc)
+        .expect("flow");
+    (soc, report)
+}
+
+#[test]
+fn every_untestability_source_of_section_3_is_present() {
+    let (_, report) = run_small();
+    for source in UntestableSource::ALL {
+        assert!(
+            report.count_for(source) > 0,
+            "source {source} found no faults:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn scan_is_the_dominant_source_as_in_table_1() {
+    let (_, report) = run_small();
+    let scan = report.count_for(UntestableSource::Scan);
+    for source in [
+        UntestableSource::DebugControl,
+        UntestableSource::DebugObservation,
+        UntestableSource::MemoryMap,
+    ] {
+        assert!(
+            scan > report.count_for(source),
+            "scan ({scan}) should dominate {source} ({})",
+            report.count_for(source)
+        );
+    }
+}
+
+#[test]
+fn total_loss_is_in_the_tens_of_percent_band() {
+    let (_, report) = run_small();
+    let fraction = report.untestable_fraction();
+    // The paper reports 13.8 %; the reproduction's reduced SoC lands in the
+    // same band (a few percent up to ~25 % depending on configuration).
+    assert!(
+        (0.05..=0.30).contains(&fraction),
+        "untestable fraction {fraction:.3} out of the expected band\n{report}"
+    );
+}
+
+#[test]
+fn debug_control_exceeds_debug_observation() {
+    // In the paper 4,548 control faults vs 2,357 observation faults.
+    let (_, report) = run_small();
+    assert!(
+        report.count_for(UntestableSource::DebugControl)
+            >= report.count_for(UntestableSource::DebugObservation),
+        "{report}"
+    );
+}
+
+#[test]
+fn identification_is_fast_compared_to_fault_simulation() {
+    // §4: the structural analysis of the manipulated circuit takes < 1 s of
+    // CPU time. Our reduced SoC must finish the *entire* flow within seconds
+    // even in an unoptimised test build.
+    let (_, report) = run_small();
+    assert!(
+        report.total_duration().as_secs_f64() < 30.0,
+        "flow took {:?}",
+        report.total_duration()
+    );
+}
+
+#[test]
+fn identified_faults_are_never_detected_by_the_sbst_suite() {
+    // Soundness spot-check: grade a sample of the faults claimed untestable
+    // against the SBST suite observed at the system bus; none may be
+    // detected.
+    use atpg::FaultSim;
+    use cpu::sbst::{standard_suite, suite_stimuli};
+    use faultmodel::FaultClass;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let soc = SocBuilder::small().build();
+    let (_, classified) = IdentificationFlow::new(FlowConfig::default())
+        .run_with_faults(&soc)
+        .expect("flow");
+    let mut untestable: Vec<StuckAt> = classified
+        .iter()
+        .filter(|(_, c)| matches!(c, FaultClass::OnlineUntestable(_)))
+        .map(|(f, _)| f)
+        .collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    untestable.shuffle(&mut rng);
+    let sample: Vec<StuckAt> = untestable.into_iter().take(200).collect();
+
+    let suite = standard_suite();
+    let stimuli = suite_stimuli(&suite, &soc.interface, 1_500);
+    let sim = FaultSim::new(&soc.netlist).expect("fault sim");
+    // Observe the system bus only, as an on-line functional test would.
+    let bus = &soc.interface.bus_output_ports;
+    for stim in &stimuli {
+        let detected = sim.detect_at(&sample, &stim.vectors, bus);
+        let escapes: Vec<&StuckAt> = sample
+            .iter()
+            .zip(&detected)
+            .filter(|&(_, &d)| d)
+            .map(|(f, _)| f)
+            .collect();
+        assert!(
+            escapes.is_empty(),
+            "faults claimed untestable were detected on the bus: {escapes:?}"
+        );
+    }
+}
