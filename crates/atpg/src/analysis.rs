@@ -119,26 +119,17 @@ impl StructuralAnalysis {
     /// # Errors
     ///
     /// Returns the levelization error if the combinational logic is cyclic.
-    pub fn constants(
-        &self,
-        netlist: &Netlist,
-    ) -> Result<ConstantValues, graph::CombinationalLoop> {
+    pub fn constants(&self, netlist: &Netlist) -> Result<ConstantValues, graph::CombinationalLoop> {
         propagate_constants(netlist, &self.config.constraints)
     }
 
     /// Computes net observability under the constraints.
-    pub fn observability(
-        &self,
-        netlist: &Netlist,
-        constants: &ConstantValues,
-    ) -> Observability {
+    pub fn observability(&self, netlist: &Netlist, constants: &ConstantValues) -> Observability {
         let constraints = &self.config.constraints;
         let mut net_observable = vec![false; netlist.num_nets()];
         let mut queue: VecDeque<NetId> = VecDeque::new();
 
-        let mark = |net: NetId,
-                        net_observable: &mut Vec<bool>,
-                        queue: &mut VecDeque<NetId>| {
+        let mark = |net: NetId, net_observable: &mut Vec<bool>, queue: &mut VecDeque<NetId>| {
             if !net_observable[net.index()] {
                 net_observable[net.index()] = true;
                 queue.push_back(net);
@@ -208,7 +199,13 @@ impl StructuralAnalysis {
         let mut podem_candidates: Vec<StuckAt> = Vec::new();
 
         for fault in targets {
-            match classify_fault(netlist, &self.config.constraints, &constants, &observability, fault) {
+            match classify_fault(
+                netlist,
+                &self.config.constraints,
+                &constants,
+                &observability,
+                fault,
+            ) {
                 Some(FaultClass::Tied) => {
                     faults.classify(fault, FaultClass::Tied);
                     outcome.tied += 1;
@@ -403,7 +400,10 @@ mod tests {
         let outcome = analysis.run(&n, &mut faults).unwrap();
 
         // AND output is constant 0: its stuck-at-0 is tied.
-        assert_eq!(faults.class_of(StuckAt::output(and, false)), Some(FaultClass::Tied));
+        assert_eq!(
+            faults.class_of(StuckAt::output(and, false)),
+            Some(FaultClass::Tied)
+        );
         // Pin A0 reads constant 0: stuck-at-0 tied; stuck-at-1 is excitable
         // and propagates (b can be 1), so it stays undetected/testable? No —
         // wait: with a tied to 0 the AND output is constant 0 regardless, so a
@@ -538,7 +538,10 @@ mod tests {
         analysis.run(&n, &mut faults).unwrap();
         // AND output constant 0 -> stuck-at-0 tied; the `other` pin cannot
         // propagate -> blocked.
-        assert_eq!(faults.class_of(StuckAt::output(and, false)), Some(FaultClass::Tied));
+        assert_eq!(
+            faults.class_of(StuckAt::output(and, false)),
+            Some(FaultClass::Tied)
+        );
         assert_eq!(
             faults.class_of(StuckAt::input(and, 1, true)),
             Some(FaultClass::Blocked)

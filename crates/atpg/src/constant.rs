@@ -101,9 +101,7 @@ impl ConstantValues {
     pub fn is_unexcitable(&self, netlist: &Netlist, fault: StuckAt) -> bool {
         let net = match fault.site {
             faultmodel::FaultSite::CellOutput { cell } => netlist.output_net(cell),
-            faultmodel::FaultSite::CellInput { cell, pin } => {
-                Some(netlist.input_net(cell, pin))
-            }
+            faultmodel::FaultSite::CellInput { cell, pin } => Some(netlist.input_net(cell, pin)),
         };
         match net {
             Some(net) => self.value(net) == Logic::from_bool(fault.value),
@@ -216,7 +214,10 @@ mod tests {
         assert_eq!(consts.value(z), Logic::X, "OR still depends on b");
         assert!(consts.is_constant(y));
         assert!(!consts.is_constant(z));
-        assert!(consts.constant_nets().iter().any(|&(net, v)| net == y && !v));
+        assert!(consts
+            .constant_nets()
+            .iter()
+            .any(|&(net, v)| net == y && !v));
     }
 
     #[test]

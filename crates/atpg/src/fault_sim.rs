@@ -394,8 +394,7 @@ mod tests {
         let d = b.netlist_mut().add_net("d");
         let q = b.dff(d, ck);
         let x = b.xor2(q, en);
-        b.netlist_mut()
-            .add_cell(CellKind::Buf, "fb", &[x], Some(d));
+        b.netlist_mut().add_cell(CellKind::Buf, "fb", &[x], Some(d));
         b.output("q", q);
         let n = b.finish();
         let xor = n.driver_of(x).unwrap();

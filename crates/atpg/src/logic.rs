@@ -163,7 +163,10 @@ mod tests {
         assert_eq!(Logic::mux(Logic::One, Logic::One, Logic::X), Logic::One);
         assert_eq!(Logic::mux(Logic::Zero, Logic::One, Logic::X), Logic::X);
         assert_eq!(Logic::mux(Logic::Zero, Logic::One, Logic::One), Logic::One);
-        assert_eq!(Logic::mux(Logic::Zero, Logic::One, Logic::Zero), Logic::Zero);
+        assert_eq!(
+            Logic::mux(Logic::Zero, Logic::One, Logic::Zero),
+            Logic::Zero
+        );
     }
 
     #[test]
@@ -235,9 +238,6 @@ mod tests {
             eval_cell(CellKind::Nand(2), &[Logic::Zero, Logic::X]),
             Logic::One
         );
-        assert_eq!(
-            eval_cell(CellKind::Or(2), &[Logic::X, Logic::X]),
-            Logic::X
-        );
+        assert_eq!(eval_cell(CellKind::Or(2), &[Logic::X, Logic::X]), Logic::X);
     }
 }

@@ -126,11 +126,7 @@ impl<'a> Podem<'a> {
         }
     }
 
-    fn simulate(
-        &self,
-        assignments: &HashMap<NetId, Logic>,
-        fault: Option<StuckAt>,
-    ) -> NetValues {
+    fn simulate(&self, assignments: &HashMap<NetId, Logic>, fault: Option<StuckAt>) -> NetValues {
         let mut values = self.sim.blank_values();
         for (&net, &v) in assignments {
             values[net.index()] = v;
@@ -196,8 +192,7 @@ impl<'a> Podem<'a> {
                     }
                 }
             }
-            let out_undecided =
-                good[out.index()] == Logic::X || faulty[out.index()] == Logic::X;
+            let out_undecided = good[out.index()] == Logic::X || faulty[out.index()] == Logic::X;
             if has_input_diff && out_undecided {
                 frontier.push(id);
             }
@@ -242,8 +237,7 @@ impl<'a> Podem<'a> {
                 CellKind::Buf => (x_inputs[0], value),
                 CellKind::Not => (x_inputs[0], !value),
                 CellKind::And(_) | CellKind::Nand(_) | CellKind::Or(_) | CellKind::Nor(_) => {
-                    let inverting =
-                        matches!(kind, CellKind::Nand(_) | CellKind::Nor(_));
+                    let inverting = matches!(kind, CellKind::Nand(_) | CellKind::Nor(_));
                     let want = value ^ inverting;
                     let identity = matches!(kind, CellKind::And(_) | CellKind::Nand(_));
                     // AND family: identity value 1; OR family: identity 0.
@@ -349,9 +343,8 @@ impl<'a> Podem<'a> {
                 obj
             };
 
-            let decision = objective.and_then(|(net, value)| {
-                self.backtrace(net, value, &good, &assignments)
-            });
+            let decision =
+                objective.and_then(|(net, value)| self.backtrace(net, value, &good, &assignments));
 
             match decision {
                 Some((input, value)) => {

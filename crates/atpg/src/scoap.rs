@@ -50,7 +50,9 @@ fn add1(x: u32) -> u32 {
 }
 
 fn sum(values: impl Iterator<Item = u32>) -> u32 {
-    values.fold(0u32, |acc, v| acc.saturating_add(v)).min(SCOAP_INFINITY)
+    values
+        .fold(0u32, |acc, v| acc.saturating_add(v))
+        .min(SCOAP_INFINITY)
 }
 
 /// Computes SCOAP measures under the given constraints (tied nets become
@@ -199,21 +201,15 @@ pub fn compute_scoap(
         for pin in 0..pins {
             let side_cost: u32 = match cell.kind() {
                 CellKind::Buf | CellKind::Not => 0,
-                CellKind::And(_) | CellKind::Nand(_) => sum(
-                    (0..pins)
-                        .filter(|&p| p != pin)
-                        .map(|p| cc1[cell.inputs()[p].index()]),
-                ),
-                CellKind::Or(_) | CellKind::Nor(_) => sum(
-                    (0..pins)
-                        .filter(|&p| p != pin)
-                        .map(|p| cc0[cell.inputs()[p].index()]),
-                ),
-                CellKind::Xor(_) | CellKind::Xnor(_) => sum((0..pins).filter(|&p| p != pin).map(
-                    |p| {
-                        cc0[cell.inputs()[p].index()].min(cc1[cell.inputs()[p].index()])
-                    },
-                )),
+                CellKind::And(_) | CellKind::Nand(_) => sum((0..pins)
+                    .filter(|&p| p != pin)
+                    .map(|p| cc1[cell.inputs()[p].index()])),
+                CellKind::Or(_) | CellKind::Nor(_) => sum((0..pins)
+                    .filter(|&p| p != pin)
+                    .map(|p| cc0[cell.inputs()[p].index()])),
+                CellKind::Xor(_) | CellKind::Xnor(_) => sum((0..pins)
+                    .filter(|&p| p != pin)
+                    .map(|p| cc0[cell.inputs()[p].index()].min(cc1[cell.inputs()[p].index()]))),
                 CellKind::Mux2 => match pin {
                     0 => cc0[cell.inputs()[2].index()],
                     1 => cc1[cell.inputs()[2].index()],

@@ -101,11 +101,7 @@ impl<'a> CombSim<'a> {
         for &cell_id in &self.order {
             let cell = self.netlist.cell(cell_id);
             let kind = cell.kind();
-            let mut inputs: Vec<Logic> = cell
-                .inputs()
-                .iter()
-                .map(|&n| values[n.index()])
-                .collect();
+            let mut inputs: Vec<Logic> = cell.inputs().iter().map(|&n| values[n.index()]).collect();
             if let Some(f) = fault {
                 if let FaultSite::CellInput { cell: fc, pin } = f.site {
                     if fc == cell_id {
@@ -138,7 +134,12 @@ impl<'a> CombSim<'a> {
         let cell = self.netlist.cell(output_cell);
         debug_assert_eq!(cell.kind(), CellKind::Output);
         if let Some(f) = fault {
-            if f.site == (FaultSite::CellInput { cell: output_cell, pin: 0 }) {
+            if f.site
+                == (FaultSite::CellInput {
+                    cell: output_cell,
+                    pin: 0,
+                })
+            {
                 return Logic::from_bool(f.value);
             }
         }
@@ -344,7 +345,11 @@ mod tests {
         let mut values = sim.blank_values();
         values[a.index()] = Logic::One;
         values[c.index()] = Logic::One;
-        sim.propagate(&mut values, &HashMap::new(), Some(StuckAt::output(and, false)));
+        sim.propagate(
+            &mut values,
+            &HashMap::new(),
+            Some(StuckAt::output(and, false)),
+        );
         assert_eq!(values[y.index()], Logic::Zero);
     }
 
@@ -412,7 +417,9 @@ mod tests {
         let mut nlb = b;
         // simpler: use register with incrementer on its own output via en=1
         // We need feedback; construct manually.
-        let ph: Vec<NetId> = (0..3).map(|i| nlb.netlist_mut().add_net(format!("d{i}"))).collect();
+        let ph: Vec<NetId> = (0..3)
+            .map(|i| nlb.netlist_mut().add_net(format!("d{i}")))
+            .collect();
         let q: Vec<NetId> = ph.iter().map(|&d| nlb.dff(d, ck)).collect();
         let (inc, _) = nlb.incrementer(&q);
         for i in 0..3 {
@@ -423,8 +430,7 @@ mod tests {
         nlb.output_bus("count", &q);
         let n = nlb.finish();
         let sim = SeqSim::new(&n).unwrap();
-        let vectors: Vec<HashMap<NetId, Logic>> =
-            (0..5).map(|_| pi_map(&[(ck, true)])).collect();
+        let vectors: Vec<HashMap<NetId, Logic>> = (0..5).map(|_| pi_map(&[(ck, true)])).collect();
         let observed = sim.run(&vectors, None);
         // After k cycles the counter holds k (observed value is the state
         // *during* the cycle, i.e. before the edge).
@@ -511,9 +517,8 @@ mod tests {
         let n = b.finish();
         let ff = n.sequential_cells()[0];
         let sim = SeqSim::new(&n).unwrap();
-        let vectors: Vec<HashMap<NetId, Logic>> = (0..3)
-            .map(|_| pi_map(&[(d, true), (ck, true)]))
-            .collect();
+        let vectors: Vec<HashMap<NetId, Logic>> =
+            (0..3).map(|_| pi_map(&[(d, true), (ck, true)])).collect();
         let good = sim.run(&vectors, None);
         let faulty = sim.run(&vectors, Some(StuckAt::output(ff, false)));
         // Good machine eventually outputs 1, faulty machine stays 0.

@@ -106,7 +106,12 @@ pub fn run_campaign(
 
     // Phase 1: random-pattern grading.
     let sim = FaultSim::new(netlist)?;
-    let vectors = random_vectors(netlist, &config.constraints, config.random_patterns, config.seed);
+    let vectors = random_vectors(
+        netlist,
+        &config.constraints,
+        config.random_patterns,
+        config.seed,
+    );
     outcome.patterns = vectors.len();
     let sim_outcome = sim.run_and_classify(faults, &vectors);
     outcome.detected_random = sim_outcome.detected;

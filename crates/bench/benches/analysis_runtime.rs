@@ -11,8 +11,7 @@ use std::time::{Duration, Instant};
 
 fn analysis_runtime(c: &mut Criterion) {
     let soc = industrial_soc();
-    let tied: Vec<(netlist::NetId, bool)> =
-        soc.mission_tied_inputs().into_iter().collect();
+    let tied: Vec<(netlist::NetId, bool)> = soc.mission_tied_inputs().into_iter().collect();
     let manipulation = debug_control_manipulation(&tied);
     let config = AnalysisConfig {
         constraints: manipulation.to_constraints(),

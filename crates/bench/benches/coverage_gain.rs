@@ -6,8 +6,8 @@
 
 use atpg::FaultSim;
 use bench::small_soc;
-use criterion::{criterion_group, criterion_main, Criterion};
 use cpu::sbst::{standard_suite, suite_stimuli};
+use criterion::{criterion_group, criterion_main, Criterion};
 use faultmodel::{FaultClass, StuckAt};
 use online_untestable::flow::{FlowConfig, IdentificationFlow};
 use rand::seq::SliceRandom;
@@ -54,13 +54,19 @@ fn coverage_gain(c: &mut Criterion) {
     let before = detected_count as f64 / sample.len() as f64;
     let after = detected_count as f64 / (sample.len() - untestable) as f64;
     println!("--- reproduced §4 coverage gain --------------------------------");
-    println!("identified on-line untestable (full design): {}", report.total_untestable());
+    println!(
+        "identified on-line untestable (full design): {}",
+        report.total_untestable()
+    );
     println!("sampled faults                : {}", sample.len());
     println!("detected by the SBST suite    : {detected_count}");
     println!("untestable within the sample  : {untestable}");
     println!("coverage before pruning       : {:.1}%", before * 100.0);
     println!("coverage after pruning        : {:.1}%", after * 100.0);
-    println!("gain                          : {:+.1} points", (after - before) * 100.0);
+    println!(
+        "gain                          : {:+.1} points",
+        (after - before) * 100.0
+    );
     assert!(after >= before);
 
     // Benchmark the grading of one program against a smaller sample.

@@ -2,9 +2,9 @@
 //! untestable faults as a function of the mapped address-space size, from the
 //! paper's small explanatory map to a full 4 GiB map.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cpu::mem::{MemRegion, MemoryMap, RegionKind};
 use cpu::soc::SocBuilder;
+use criterion::{criterion_group, criterion_main, Criterion};
 use faultmodel::UntestableSource;
 use online_untestable::flow::{FlowConfig, IdentificationFlow};
 use std::time::Duration;

@@ -2,9 +2,9 @@
 //! function of the processor-core size (register-file depth), demonstrating
 //! that the method stays cheap as the design grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpu::core_gen::CoreConfig;
 use cpu::soc::SocBuilder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netlist::stats::stats;
 use online_untestable::flow::{FlowConfig, IdentificationFlow};
 use std::time::Duration;
@@ -46,7 +46,13 @@ fn scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("identification_flow", num_regs),
             &soc,
-            |b, soc| b.iter(|| IdentificationFlow::new(FlowConfig::default()).run(soc).unwrap()),
+            |b, soc| {
+                b.iter(|| {
+                    IdentificationFlow::new(FlowConfig::default())
+                        .run(soc)
+                        .unwrap()
+                })
+            },
         );
     }
     group.finish();

@@ -2,7 +2,7 @@
 //! figure of the DATE 2013 paper.
 //!
 //! Each Criterion bench binary corresponds to one paper artefact (see
-//! `DESIGN.md` for the experiment index) and prints the reproduced
+//! `EXPERIMENTS.md` for the experiment index) and prints the reproduced
 //! rows/series before measuring the runtime of the underlying analysis.
 
 use cpu::soc::{Soc, SocBuilder};

@@ -158,16 +158,13 @@ impl IdentificationFlow {
             let ports = find_scan_in_ports(netlist, &soc.config.scan.scan_in_prefix);
             let trace = trace_scan_chains(netlist, &ports, &soc.config.scan.scan_out_prefix)
                 .map_err(|e| FlowError::ScanTrace(e.to_string()))?;
-            let result = scan_rule(
-                netlist,
-                &trace,
-                soc.config.scan.mission_scan_enable_value,
-            );
+            let result = scan_rule(netlist, &trace, soc.config.scan.mission_scan_enable_value);
             let mut newly = 0usize;
             for fault in result.untestable {
-                if master
-                    .classify_if_undetected(fault, FaultClass::OnlineUntestable(UntestableSource::Scan))
-                {
+                if master.classify_if_undetected(
+                    fault,
+                    FaultClass::OnlineUntestable(UntestableSource::Scan),
+                ) {
                     newly += 1;
                 }
             }
@@ -211,9 +208,11 @@ impl IdentificationFlow {
                 analyse_manipulation(netlist, &manipulation, self.config.prove_redundancy)
                     .map_err(FlowError::Analysis)?;
             let newly = master.import_classes(&analysed, |class| {
-                class.is_structurally_untestable().then_some(FaultClass::OnlineUntestable(
-                    UntestableSource::DebugObservation,
-                ))
+                class
+                    .is_structurally_untestable()
+                    .then_some(FaultClass::OnlineUntestable(
+                        UntestableSource::DebugObservation,
+                    ))
             });
             phases.push(PhaseResult {
                 name: "debug-observe".to_string(),
@@ -260,10 +259,7 @@ impl IdentificationFlow {
         match self.config.discovery {
             DiscoveryMode::Specification => {
                 let mut tied = Vec::new();
-                tied.push((
-                    soc.debug.enable_net,
-                    soc.debug.config.mission_enable_value,
-                ));
+                tied.push((soc.debug.enable_net, soc.debug.config.mission_enable_value));
                 for &net in &soc.debug.data_nets {
                     tied.push((net, false));
                 }
@@ -285,20 +281,16 @@ impl IdentificationFlow {
                         program_stimuli(p, &soc.interface, self.config.toggle_max_cycles).vectors
                     })
                     .collect();
-                let report = analyze_toggles(&soc.netlist, &sequences)
-                    .map_err(FlowError::Analysis)?;
+                let report =
+                    analyze_toggles(&soc.netlist, &sequences).map_err(FlowError::Analysis)?;
                 // Inputs with no activity are suspects; exclude the functional
                 // inputs (clock, reset, memory read buses — constant values on
                 // those are an artefact of the stimulus, not of the mission
                 // configuration) and the scan interface (attributed to the
                 // scan rule).
                 let functional = soc.functional_inputs();
-                let mut scan_nets: Vec<NetId> = soc
-                    .scan
-                    .chains
-                    .iter()
-                    .map(|c| c.scan_in_net)
-                    .collect();
+                let mut scan_nets: Vec<NetId> =
+                    soc.scan.chains.iter().map(|c| c.scan_in_net).collect();
                 if let Some(se) = soc.scan.scan_enable_net {
                     scan_nets.push(se);
                 }
@@ -341,9 +333,18 @@ mod tests {
         assert_eq!(report.total_faults, faults.len());
         // Every source contributes something.
         assert!(report.count_for(UntestableSource::Scan) > 0, "{report}");
-        assert!(report.count_for(UntestableSource::DebugControl) > 0, "{report}");
-        assert!(report.count_for(UntestableSource::DebugObservation) > 0, "{report}");
-        assert!(report.count_for(UntestableSource::MemoryMap) > 0, "{report}");
+        assert!(
+            report.count_for(UntestableSource::DebugControl) > 0,
+            "{report}"
+        );
+        assert!(
+            report.count_for(UntestableSource::DebugObservation) > 0,
+            "{report}"
+        );
+        assert!(
+            report.count_for(UntestableSource::MemoryMap) > 0,
+            "{report}"
+        );
         // Scan dominates, as in Table I.
         assert!(
             report.count_for(UntestableSource::Scan)

@@ -136,7 +136,10 @@ mod tests {
             FaultClass::OnlineUntestable(UntestableSource::DebugObservation),
             10,
         );
-        counts.add(FaultClass::OnlineUntestable(UntestableSource::MemoryMap), 20);
+        counts.add(
+            FaultClass::OnlineUntestable(UntestableSource::MemoryMap),
+            20,
+        );
         IdentificationReport {
             design: "demo".to_string(),
             total_faults: 1000,
@@ -181,7 +184,14 @@ mod tests {
     #[test]
     fn display_contains_table_rows() {
         let text = sample_report().to_string();
-        for needle in ["Scan", "Debug", "Memory", "TOTAL", "baseline", "fault universe"] {
+        for needle in [
+            "Scan",
+            "Debug",
+            "Memory",
+            "TOTAL",
+            "baseline",
+            "fault universe",
+        ] {
             assert!(text.contains(needle), "missing {needle}:\n{text}");
         }
     }

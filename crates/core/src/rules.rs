@@ -2,7 +2,7 @@
 //! debug observation logic and memory-map address logic.
 //!
 //! Each rule produces either a direct list of faults to prune (scan) or a
-//! circuit [`Manipulation`](crate::manipulate::Manipulation) whose structural
+//! circuit [`Manipulation`] whose structural
 //! analysis reveals the on-line functionally untestable faults of that
 //! source. The [`flow`](crate::flow) module composes them and re-labels the
 //! findings into the master fault list.
@@ -215,7 +215,10 @@ mod tests {
         let manipulation = debug_control_manipulation(&tied);
         let (faults, untestable) =
             analyse_manipulation(&soc.netlist, &manipulation, false).unwrap();
-        assert!(untestable > 0, "tying the debug inputs must kill some faults");
+        assert!(
+            untestable > 0,
+            "tying the debug inputs must kill some faults"
+        );
         // The debug enable stuck-at-0 is among them.
         let enable_driver = soc.netlist.driver_of(soc.debug.enable_net).unwrap();
         assert!(faults
@@ -275,8 +278,6 @@ mod tests {
             fraction < 0.08,
             "baseline untestable fraction too high: {fraction:.3}"
         );
-        assert!(faults
-            .iter()
-            .any(|(_, c)| c == FaultClass::Undetected));
+        assert!(faults.iter().any(|(_, c)| c == FaultClass::Undetected));
     }
 }

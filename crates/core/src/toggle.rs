@@ -187,8 +187,6 @@ mod tests {
         }
         // The suspect list therefore includes the debug enable.
         let suspects = report.suspect_inputs(&soc.netlist);
-        assert!(suspects
-            .iter()
-            .any(|&(net, _)| net == soc.debug.enable_net));
+        assert!(suspects.iter().any(|&(net, _)| net == soc.debug.enable_net));
     }
 }

@@ -183,12 +183,24 @@ pub fn generate_core(builder: &mut NetlistBuilder, config: &CoreConfig) -> CoreI
         builder.pop_group();
         w
     };
-    let alu = generate_alu(builder, &regfile.read_a, &operand_b, &fields.shamt, &alu_control);
+    let alu = generate_alu(
+        builder,
+        &regfile.read_a,
+        &operand_b,
+        &fields.shamt,
+        &alu_control,
+    );
 
     // ------------------------------------------------------------------
     // Address generation.
     // ------------------------------------------------------------------
-    let agu = generate_agu(builder, &pc, &regfile.read_a, &fields.imm16, &fields.target26);
+    let agu = generate_agu(
+        builder,
+        &pc,
+        &regfile.read_a,
+        &fields.imm16,
+        &fields.target26,
+    );
 
     // ------------------------------------------------------------------
     // Branch resolution and next PC.
@@ -210,7 +222,8 @@ pub fn generate_core(builder: &mut NetlistBuilder, config: &CoreConfig) -> CoreI
     let btb_hit = if config.btb_entries >= 2 {
         builder.push_group("btb_ctl");
         let taken_transfer = builder.or2(take_branch, controls.is_jump);
-        let update_target = builder.mux2_word(&agu.branch_target, &agu.jump_target, controls.is_jump);
+        let update_target =
+            builder.mux2_word(&agu.branch_target, &agu.jump_target, controls.is_jump);
         builder.pop_group();
         let btb = generate_btb(
             builder,
@@ -372,20 +385,34 @@ mod tests {
     fn core_has_expected_structure() {
         let (netlist, iface) = build_core(&CoreConfig::default());
         let s = stats(&netlist);
-        assert!(s.flip_flops > 1000, "expected > 1000 FFs, got {}", s.flip_flops);
+        assert!(
+            s.flip_flops > 1000,
+            "expected > 1000 FFs, got {}",
+            s.flip_flops
+        );
         assert!(s.combinational_cells > 4000);
         assert!(s.stuck_at_faults() > 20_000);
         assert_eq!(iface.pc.len(), 32);
         assert!(iface.btb_hit.is_some());
         // Functional groups exist.
-        for group in ["regfile", "alu", "agu", "agu.branch", "btb", "decode", "fetch.pc", "spr"] {
+        for group in [
+            "regfile",
+            "alu",
+            "agu",
+            "agu.branch",
+            "btb",
+            "decode",
+            "fetch.pc",
+            "spr",
+        ] {
             assert!(
                 !netlist.cells_in_group(group).is_empty(),
                 "group {group} is empty"
             );
         }
         // The design levelizes and validates.
-        let issues = netlist::validate::validate(&netlist, netlist::validate::ValidateOptions::default());
+        let issues =
+            netlist::validate::validate(&netlist, netlist::validate::ValidateOptions::default());
         assert!(issues.is_empty(), "{issues:?}");
     }
 
@@ -400,18 +427,66 @@ mod tests {
     #[test]
     fn gate_level_matches_iss_on_arithmetic_program() {
         let program = vec![
-            Instr::Addi { rt: 1, rs: 0, imm: 10 },
-            Instr::Addi { rt: 2, rs: 0, imm: 32 },
-            Instr::Add { rd: 3, rs: 1, rt: 2 },
-            Instr::Sub { rd: 4, rs: 2, rt: 1 },
-            Instr::Xor { rd: 5, rs: 3, rt: 4 },
-            Instr::Sltu { rd: 6, rs: 1, rt: 2 },
-            Instr::Sll { rd: 7, rt: 1, shamt: 3 },
-            Instr::Sw { rt: 3, rs: 0, imm: 0x100 },
-            Instr::Sw { rt: 4, rs: 0, imm: 0x104 },
-            Instr::Sw { rt: 5, rs: 0, imm: 0x108 },
-            Instr::Sw { rt: 6, rs: 0, imm: 0x10c },
-            Instr::Sw { rt: 7, rs: 0, imm: 0x110 },
+            Instr::Addi {
+                rt: 1,
+                rs: 0,
+                imm: 10,
+            },
+            Instr::Addi {
+                rt: 2,
+                rs: 0,
+                imm: 32,
+            },
+            Instr::Add {
+                rd: 3,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::Sub {
+                rd: 4,
+                rs: 2,
+                rt: 1,
+            },
+            Instr::Xor {
+                rd: 5,
+                rs: 3,
+                rt: 4,
+            },
+            Instr::Sltu {
+                rd: 6,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::Sll {
+                rd: 7,
+                rt: 1,
+                shamt: 3,
+            },
+            Instr::Sw {
+                rt: 3,
+                rs: 0,
+                imm: 0x100,
+            },
+            Instr::Sw {
+                rt: 4,
+                rs: 0,
+                imm: 0x104,
+            },
+            Instr::Sw {
+                rt: 5,
+                rs: 0,
+                imm: 0x108,
+            },
+            Instr::Sw {
+                rt: 6,
+                rs: 0,
+                imm: 0x10c,
+            },
+            Instr::Sw {
+                rt: 7,
+                rs: 0,
+                imm: 0x110,
+            },
             Instr::Halt,
         ];
         let (iss_stores, gate_stores) = cosimulate(&program, 40);
@@ -422,16 +497,44 @@ mod tests {
     #[test]
     fn gate_level_matches_iss_on_branchy_program() {
         let program = vec![
-            Instr::Addi { rt: 1, rs: 0, imm: 5 },
-            Instr::Addi { rt: 2, rs: 0, imm: 0 },
+            Instr::Addi {
+                rt: 1,
+                rs: 0,
+                imm: 5,
+            },
+            Instr::Addi {
+                rt: 2,
+                rs: 0,
+                imm: 0,
+            },
             // loop: r2 += r1; r1 -= 1; bne r1, r0, loop
-            Instr::Add { rd: 2, rs: 2, rt: 1 },
-            Instr::Addi { rt: 1, rs: 1, imm: -1 },
-            Instr::Bne { rs: 1, rt: 0, imm: -3 },
-            Instr::Sw { rt: 2, rs: 0, imm: 0x200 },
+            Instr::Add {
+                rd: 2,
+                rs: 2,
+                rt: 1,
+            },
+            Instr::Addi {
+                rt: 1,
+                rs: 1,
+                imm: -1,
+            },
+            Instr::Bne {
+                rs: 1,
+                rt: 0,
+                imm: -3,
+            },
+            Instr::Sw {
+                rt: 2,
+                rs: 0,
+                imm: 0x200,
+            },
             Instr::Jal { target: 8 },
             Instr::Halt,
-            Instr::Sw { rt: 31, rs: 0, imm: 0x204 }, // 8: store the link register
+            Instr::Sw {
+                rt: 31,
+                rs: 0,
+                imm: 0x204,
+            }, // 8: store the link register
             Instr::J { target: 7 },
         ];
         let (iss_stores, gate_stores) = cosimulate(&program, 100);
@@ -445,13 +548,41 @@ mod tests {
     fn gate_level_matches_iss_on_memory_program() {
         let program = vec![
             Instr::Lui { rt: 1, imm: 0x1234 },
-            Instr::Ori { rt: 1, rs: 1, imm: 0x5678 },
-            Instr::Sw { rt: 1, rs: 0, imm: 0x300 },
-            Instr::Lw { rt: 2, rs: 0, imm: 0x300 },
-            Instr::Addi { rt: 2, rs: 2, imm: 1 },
-            Instr::Sw { rt: 2, rs: 0, imm: 0x304 },
-            Instr::Andi { rt: 3, rs: 1, imm: 0xff00 },
-            Instr::Sw { rt: 3, rs: 0, imm: 0x308 },
+            Instr::Ori {
+                rt: 1,
+                rs: 1,
+                imm: 0x5678,
+            },
+            Instr::Sw {
+                rt: 1,
+                rs: 0,
+                imm: 0x300,
+            },
+            Instr::Lw {
+                rt: 2,
+                rs: 0,
+                imm: 0x300,
+            },
+            Instr::Addi {
+                rt: 2,
+                rs: 2,
+                imm: 1,
+            },
+            Instr::Sw {
+                rt: 2,
+                rs: 0,
+                imm: 0x304,
+            },
+            Instr::Andi {
+                rt: 3,
+                rs: 1,
+                imm: 0xff00,
+            },
+            Instr::Sw {
+                rt: 3,
+                rs: 0,
+                imm: 0x308,
+            },
             Instr::Halt,
         ];
         let (iss_stores, gate_stores) = cosimulate(&program, 40);

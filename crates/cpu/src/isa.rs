@@ -400,23 +400,90 @@ mod tests {
     fn sample_instructions() -> Vec<Instr> {
         vec![
             Instr::Nop,
-            Instr::Add { rd: 1, rs: 2, rt: 3 },
-            Instr::Sub { rd: 31, rs: 30, rt: 29 },
-            Instr::And { rd: 4, rs: 5, rt: 6 },
-            Instr::Or { rd: 7, rs: 8, rt: 9 },
-            Instr::Xor { rd: 10, rs: 11, rt: 12 },
-            Instr::Sltu { rd: 13, rs: 14, rt: 15 },
-            Instr::Sll { rd: 1, rt: 2, shamt: 31 },
-            Instr::Srl { rd: 3, rt: 4, shamt: 1 },
-            Instr::Addi { rt: 5, rs: 6, imm: -42 },
-            Instr::Andi { rt: 7, rs: 8, imm: 0xffff },
-            Instr::Ori { rt: 9, rs: 10, imm: 0x1234 },
-            Instr::Xori { rt: 11, rs: 12, imm: 0x00ff },
-            Instr::Lui { rt: 13, imm: 0x4000 },
-            Instr::Lw { rt: 14, rs: 15, imm: 16 },
-            Instr::Sw { rt: 16, rs: 17, imm: -4 },
-            Instr::Beq { rs: 18, rt: 19, imm: 5 },
-            Instr::Bne { rs: 20, rt: 21, imm: -5 },
+            Instr::Add {
+                rd: 1,
+                rs: 2,
+                rt: 3,
+            },
+            Instr::Sub {
+                rd: 31,
+                rs: 30,
+                rt: 29,
+            },
+            Instr::And {
+                rd: 4,
+                rs: 5,
+                rt: 6,
+            },
+            Instr::Or {
+                rd: 7,
+                rs: 8,
+                rt: 9,
+            },
+            Instr::Xor {
+                rd: 10,
+                rs: 11,
+                rt: 12,
+            },
+            Instr::Sltu {
+                rd: 13,
+                rs: 14,
+                rt: 15,
+            },
+            Instr::Sll {
+                rd: 1,
+                rt: 2,
+                shamt: 31,
+            },
+            Instr::Srl {
+                rd: 3,
+                rt: 4,
+                shamt: 1,
+            },
+            Instr::Addi {
+                rt: 5,
+                rs: 6,
+                imm: -42,
+            },
+            Instr::Andi {
+                rt: 7,
+                rs: 8,
+                imm: 0xffff,
+            },
+            Instr::Ori {
+                rt: 9,
+                rs: 10,
+                imm: 0x1234,
+            },
+            Instr::Xori {
+                rt: 11,
+                rs: 12,
+                imm: 0x00ff,
+            },
+            Instr::Lui {
+                rt: 13,
+                imm: 0x4000,
+            },
+            Instr::Lw {
+                rt: 14,
+                rs: 15,
+                imm: 16,
+            },
+            Instr::Sw {
+                rt: 16,
+                rs: 17,
+                imm: -4,
+            },
+            Instr::Beq {
+                rs: 18,
+                rt: 19,
+                imm: 5,
+            },
+            Instr::Bne {
+                rs: 20,
+                rt: 21,
+                imm: -5,
+            },
             Instr::J { target: 0x12345 },
             Instr::Jal { target: 0x3ffffff },
             Instr::Halt,
@@ -450,14 +517,28 @@ mod tests {
 
     #[test]
     fn field_masks_are_respected() {
-        let word = Instr::Add { rd: 63, rs: 63, rt: 63 }.encode();
+        let word = Instr::Add {
+            rd: 63,
+            rs: 63,
+            rt: 63,
+        }
+        .encode();
         // Register fields are 5 bits: 63 wraps to 31.
         assert_eq!(
             Instr::decode(word).unwrap(),
-            Instr::Add { rd: 31, rs: 31, rt: 31 }
+            Instr::Add {
+                rd: 31,
+                rs: 31,
+                rt: 31
+            }
         );
         let j = Instr::J { target: u32::MAX }.encode();
-        assert_eq!(Instr::decode(j).unwrap(), Instr::J { target: 0x03ff_ffff });
+        assert_eq!(
+            Instr::decode(j).unwrap(),
+            Instr::J {
+                target: 0x03ff_ffff
+            }
+        );
     }
 
     #[test]
@@ -470,8 +551,24 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(Instr::Add { rd: 1, rs: 2, rt: 3 }.to_string(), "add r1, r2, r3");
-        assert_eq!(Instr::Lw { rt: 4, rs: 5, imm: -8 }.to_string(), "lw r4, -8(r5)");
+        assert_eq!(
+            Instr::Add {
+                rd: 1,
+                rs: 2,
+                rt: 3
+            }
+            .to_string(),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            Instr::Lw {
+                rt: 4,
+                rs: 5,
+                imm: -8
+            }
+            .to_string(),
+            "lw r4, -8(r5)"
+        );
         assert_eq!(Instr::Halt.to_string(), "halt");
     }
 

@@ -192,16 +192,12 @@ impl Iss {
             }
             Instr::Beq { rs, rt, imm } => {
                 if self.read_reg(rs) == self.read_reg(rt) {
-                    next_pc = pc
-                        .wrapping_add(4)
-                        .wrapping_add((imm as i32 as u32) << 2);
+                    next_pc = pc.wrapping_add(4).wrapping_add((imm as i32 as u32) << 2);
                 }
             }
             Instr::Bne { rs, rt, imm } => {
                 if self.read_reg(rs) != self.read_reg(rt) {
-                    next_pc = pc
-                        .wrapping_add(4)
-                        .wrapping_add((imm as i32 as u32) << 2);
+                    next_pc = pc.wrapping_add(4).wrapping_add((imm as i32 as u32) << 2);
                 }
             }
             Instr::J { target } => {
@@ -264,16 +260,56 @@ mod tests {
     #[test]
     fn arithmetic_and_logic() {
         let program = vec![
-            Instr::Addi { rt: 1, rs: 0, imm: 10 },
-            Instr::Addi { rt: 2, rs: 0, imm: -3 },
-            Instr::Add { rd: 3, rs: 1, rt: 2 },
-            Instr::Sub { rd: 4, rs: 1, rt: 2 },
-            Instr::And { rd: 5, rs: 1, rt: 2 },
-            Instr::Or { rd: 6, rs: 1, rt: 2 },
-            Instr::Xor { rd: 7, rs: 1, rt: 2 },
-            Instr::Sltu { rd: 8, rs: 1, rt: 2 },
-            Instr::Sll { rd: 9, rt: 1, shamt: 4 },
-            Instr::Srl { rd: 10, rt: 2, shamt: 1 },
+            Instr::Addi {
+                rt: 1,
+                rs: 0,
+                imm: 10,
+            },
+            Instr::Addi {
+                rt: 2,
+                rs: 0,
+                imm: -3,
+            },
+            Instr::Add {
+                rd: 3,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::Sub {
+                rd: 4,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::And {
+                rd: 5,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::Or {
+                rd: 6,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::Xor {
+                rd: 7,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::Sltu {
+                rd: 8,
+                rs: 1,
+                rt: 2,
+            },
+            Instr::Sll {
+                rd: 9,
+                rt: 1,
+                shamt: 4,
+            },
+            Instr::Srl {
+                rd: 10,
+                rt: 2,
+                shamt: 1,
+            },
             Instr::Halt,
         ];
         let (iss, trace) = run_program(&program, 100);
@@ -293,8 +329,16 @@ mod tests {
     #[test]
     fn r0_is_hardwired_to_zero() {
         let program = vec![
-            Instr::Addi { rt: 0, rs: 0, imm: 123 },
-            Instr::Add { rd: 1, rs: 0, rt: 0 },
+            Instr::Addi {
+                rt: 0,
+                rs: 0,
+                imm: 123,
+            },
+            Instr::Add {
+                rd: 1,
+                rs: 0,
+                rt: 0,
+            },
             Instr::Halt,
         ];
         let (iss, _) = run_program(&program, 10);
@@ -305,11 +349,27 @@ mod tests {
     #[test]
     fn loads_and_stores_trace_the_bus() {
         let program = vec![
-            Instr::Lui { rt: 1, imm: 0x4000 },      // r1 = 0x4000_0000
-            Instr::Addi { rt: 2, rs: 0, imm: 77 },
-            Instr::Sw { rt: 2, rs: 1, imm: 8 },
-            Instr::Lw { rt: 3, rs: 1, imm: 8 },
-            Instr::Sw { rt: 3, rs: 1, imm: 12 },
+            Instr::Lui { rt: 1, imm: 0x4000 }, // r1 = 0x4000_0000
+            Instr::Addi {
+                rt: 2,
+                rs: 0,
+                imm: 77,
+            },
+            Instr::Sw {
+                rt: 2,
+                rs: 1,
+                imm: 8,
+            },
+            Instr::Lw {
+                rt: 3,
+                rs: 1,
+                imm: 8,
+            },
+            Instr::Sw {
+                rt: 3,
+                rs: 1,
+                imm: 12,
+            },
             Instr::Halt,
         ];
         let (iss, trace) = run_program(&program, 20);
@@ -326,13 +386,37 @@ mod tests {
     fn branches_and_jumps() {
         // A loop that counts down from 3 and then stores a marker.
         let program = vec![
-            Instr::Addi { rt: 1, rs: 0, imm: 3 },          // 0: r1 = 3
-            Instr::Addi { rt: 2, rs: 0, imm: 0 },          // 4: r2 = 0
-            Instr::Addi { rt: 2, rs: 2, imm: 1 },          // 8: loop: r2 += 1
-            Instr::Addi { rt: 1, rs: 1, imm: -1 },         // 12: r1 -= 1
-            Instr::Bne { rs: 1, rt: 0, imm: -3 },          // 16: if r1 != 0 goto 8
-            Instr::Sw { rt: 2, rs: 0, imm: 0x100 },        // 20: mem[0x100] = r2
-            Instr::Halt,                                    // 24
+            Instr::Addi {
+                rt: 1,
+                rs: 0,
+                imm: 3,
+            }, // 0: r1 = 3
+            Instr::Addi {
+                rt: 2,
+                rs: 0,
+                imm: 0,
+            }, // 4: r2 = 0
+            Instr::Addi {
+                rt: 2,
+                rs: 2,
+                imm: 1,
+            }, // 8: loop: r2 += 1
+            Instr::Addi {
+                rt: 1,
+                rs: 1,
+                imm: -1,
+            }, // 12: r1 -= 1
+            Instr::Bne {
+                rs: 1,
+                rt: 0,
+                imm: -3,
+            }, // 16: if r1 != 0 goto 8
+            Instr::Sw {
+                rt: 2,
+                rs: 0,
+                imm: 0x100,
+            }, // 20: mem[0x100] = r2
+            Instr::Halt, // 24
         ];
         let (iss, trace) = run_program(&program, 100);
         assert_eq!(trace.stop, StopReason::Halted);
@@ -343,11 +427,15 @@ mod tests {
     #[test]
     fn jal_links_and_jumps() {
         let program = vec![
-            Instr::Jal { target: 3 },                      // 0: call 12
-            Instr::Halt,                                    // 4 (return lands here)
-            Instr::Nop,                                     // 8
-            Instr::Addi { rt: 5, rs: 0, imm: 99 },         // 12: subroutine
-            Instr::Jal { target: 1 },                      // 16: jump back to 4 (link clobbered, fine)
+            Instr::Jal { target: 3 }, // 0: call 12
+            Instr::Halt,              // 4 (return lands here)
+            Instr::Nop,               // 8
+            Instr::Addi {
+                rt: 5,
+                rs: 0,
+                imm: 99,
+            }, // 12: subroutine
+            Instr::Jal { target: 1 }, // 16: jump back to 4 (link clobbered, fine)
         ];
         let (iss, trace) = run_program(&program, 20);
         assert_eq!(trace.stop, StopReason::Halted);

@@ -325,7 +325,10 @@ mod tests {
             assert!(!toggling.contains(&bit), "bit {bit} should be constant");
         }
         let constants = map.constant_address_bits();
-        assert!(constants.iter().all(|&(_, v)| !v), "all frozen bits are 0 here");
+        assert!(
+            constants.iter().all(|&(_, v)| !v),
+            "all frozen bits are 0 here"
+        );
         assert!(constants.iter().any(|&(b, _)| b == 31));
         // Sanity: toggling + constant = 32 bits.
         assert_eq!(toggling.len() + constants.len(), 32);
@@ -349,7 +352,10 @@ mod tests {
         assert!(map.contains(0x4001_ffff));
         assert!(!map.contains(0x4002_0000));
         assert!(!map.contains(0x0));
-        assert_eq!(map.region_of_kind(RegionKind::Flash).unwrap().base, 0x0007_8000);
+        assert_eq!(
+            map.region_of_kind(RegionKind::Flash).unwrap().base,
+            0x0007_8000
+        );
         assert!(map.region_of_kind(RegionKind::Peripheral).is_none());
         let text = map.to_string();
         assert!(text.contains("Flash"));

@@ -65,10 +65,7 @@ pub fn generate_agu(
     jump_target.extend_from_slice(&pc_plus_4[28..32]);
     // Buffer the jump target so the unit owns at least some cells (and so a
     // fault site exists per bit, as in a real implementation's bus drivers).
-    let jump_target: Word = jump_target
-        .iter()
-        .map(|&bit| builder.buf(bit))
-        .collect();
+    let jump_target: Word = jump_target.iter().map(|&bit| builder.buf(bit)).collect();
     builder.pop_group();
 
     builder.pop_group();
@@ -166,9 +163,7 @@ mod tests {
         let h = build();
         for (pc, imm) in [(0x100u32, 5i16), (0x100, -5), (0x0007_8000, 0x7fff)] {
             let (_, _, btgt, _) = eval(&h, pc, 0, imm as u16, 0);
-            let expected = pc
-                .wrapping_add(4)
-                .wrapping_add((imm as i32 as u32) << 2);
+            let expected = pc.wrapping_add(4).wrapping_add((imm as i32 as u32) << 2);
             assert_eq!(btgt, expected, "pc={pc:#x} imm={imm}");
         }
     }

@@ -38,7 +38,10 @@ pub fn generate_btb(
     update_target: &[NetId],
     entries: usize,
 ) -> Btb {
-    assert!(entries.is_power_of_two() && entries >= 2, "entries must be a power of two >= 2");
+    assert!(
+        entries.is_power_of_two() && entries >= 2,
+        "entries must be a power of two >= 2"
+    );
     assert_eq!(pc.len(), 32);
     assert_eq!(update_target.len(), 32);
 
@@ -147,7 +150,14 @@ mod tests {
         }
     }
 
-    fn step(h: &Harness, sim: &SeqSim, state: &mut Vec<Logic>, pc: u32, update: bool, target: u32) -> Vec<Logic> {
+    fn step(
+        h: &Harness,
+        sim: &SeqSim,
+        state: &mut Vec<Logic>,
+        pc: u32,
+        update: bool,
+        target: u32,
+    ) -> Vec<Logic> {
         let mut v = HashMap::new();
         v.insert(h.clock, Logic::One);
         v.insert(h.update, Logic::from_bool(update));

@@ -116,10 +116,7 @@ pub struct Controls {
 /// Generates the control decoder from the opcode and function fields.
 ///
 /// All cells are tagged with the `decode` group.
-pub fn generate_controls(
-    builder: &mut NetlistBuilder,
-    fields_in: &InstrFields,
-) -> Controls {
+pub fn generate_controls(builder: &mut NetlistBuilder, fields_in: &InstrFields) -> Controls {
     builder.push_group("decode");
 
     let op = &fields_in.opcode;
@@ -262,7 +259,14 @@ mod tests {
     #[test]
     fn rtype_add_controls() {
         let h = build();
-        let r = decode(&h, Instr::Add { rd: 1, rs: 2, rt: 3 });
+        let r = decode(
+            &h,
+            Instr::Add {
+                rd: 1,
+                rs: 2,
+                rt: 3,
+            },
+        );
         assert!(value_of(&r, h.controls.is_rtype));
         assert!(value_of(&r, h.controls.reg_write));
         assert!(value_of(&r, h.controls.fn_add));
@@ -275,7 +279,14 @@ mod tests {
     #[test]
     fn store_controls() {
         let h = build();
-        let r = decode(&h, Instr::Sw { rt: 2, rs: 1, imm: 4 });
+        let r = decode(
+            &h,
+            Instr::Sw {
+                rt: 2,
+                rs: 1,
+                imm: 4,
+            },
+        );
         assert!(value_of(&r, h.controls.mem_write));
         assert!(!value_of(&r, h.controls.reg_write));
         assert!(value_of(&r, h.controls.alu_src_imm));
@@ -285,7 +296,14 @@ mod tests {
     #[test]
     fn load_controls() {
         let h = build();
-        let r = decode(&h, Instr::Lw { rt: 2, rs: 1, imm: 4 });
+        let r = decode(
+            &h,
+            Instr::Lw {
+                rt: 2,
+                rs: 1,
+                imm: 4,
+            },
+        );
         assert!(value_of(&r, h.controls.mem_read));
         assert!(value_of(&r, h.controls.reg_write));
         assert!(!value_of(&r, h.controls.mem_write));
@@ -294,7 +312,14 @@ mod tests {
     #[test]
     fn branch_jump_halt_controls() {
         let h = build();
-        let r = decode(&h, Instr::Beq { rs: 1, rt: 2, imm: 3 });
+        let r = decode(
+            &h,
+            Instr::Beq {
+                rs: 1,
+                rt: 2,
+                imm: 3,
+            },
+        );
         assert!(value_of(&r, h.controls.is_branch));
         assert!(!value_of(&r, h.controls.reg_write));
         let r = decode(&h, Instr::Jal { target: 0x40 });
@@ -309,10 +334,24 @@ mod tests {
     #[test]
     fn logical_immediates_zero_extend() {
         let h = build();
-        let r = decode(&h, Instr::Andi { rt: 1, rs: 2, imm: 0xff });
+        let r = decode(
+            &h,
+            Instr::Andi {
+                rt: 1,
+                rs: 2,
+                imm: 0xff,
+            },
+        );
         assert!(value_of(&r, h.controls.imm_zero_extend));
         assert!(value_of(&r, h.controls.alu_src_imm));
-        let r = decode(&h, Instr::Addi { rt: 1, rs: 2, imm: -1 });
+        let r = decode(
+            &h,
+            Instr::Addi {
+                rt: 1,
+                rs: 2,
+                imm: -1,
+            },
+        );
         assert!(!value_of(&r, h.controls.imm_zero_extend));
     }
 

@@ -58,7 +58,12 @@ pub fn generate_regfile(
     // gating disappears into simple wiring of the 5 select bits.
     let select_bits = (usize::BITS - (num_regs - 1).leading_zeros()) as usize;
     let padded: Vec<Word> = (0..(1usize << select_bits))
-        .map(|i| registers.get(i).cloned().unwrap_or_else(|| zero_word.clone()))
+        .map(|i| {
+            registers
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| zero_word.clone())
+        })
         .collect();
     let read_port = |builder: &mut NetlistBuilder, sel: &[NetId]| -> Word {
         let raw = builder.mux_tree(&padded, &sel[..select_bits]);

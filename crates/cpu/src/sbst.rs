@@ -57,12 +57,28 @@ pub fn alu_test() -> SbstProgram {
     let mut p = Vec::new();
     // Load four constants with complementary bit patterns.
     p.push(Instr::Lui { rt: 1, imm: 0xAAAA });
-    p.push(Instr::Ori { rt: 1, rs: 1, imm: 0x5555 });
+    p.push(Instr::Ori {
+        rt: 1,
+        rs: 1,
+        imm: 0x5555,
+    });
     p.push(Instr::Lui { rt: 2, imm: 0x5555 });
-    p.push(Instr::Ori { rt: 2, rs: 2, imm: 0xAAAA });
+    p.push(Instr::Ori {
+        rt: 2,
+        rs: 2,
+        imm: 0xAAAA,
+    });
     p.push(Instr::Lui { rt: 3, imm: 0xFFFF });
-    p.push(Instr::Ori { rt: 3, rs: 3, imm: 0xFFFF });
-    p.push(Instr::Addi { rt: 4, rs: 0, imm: 1 });
+    p.push(Instr::Ori {
+        rt: 3,
+        rs: 3,
+        imm: 0xFFFF,
+    });
+    p.push(Instr::Addi {
+        rt: 4,
+        rs: 0,
+        imm: 1,
+    });
     let mut slot = 0i16;
     for (rs, rt) in [(1u8, 2u8), (2, 1), (1, 3), (3, 4), (2, 4)] {
         p.push(Instr::Add { rd: 10, rs, rt });
@@ -85,10 +101,18 @@ pub fn alu_test() -> SbstProgram {
         slot += 1;
     }
     for shamt in [1u8, 4, 15, 31] {
-        p.push(Instr::Sll { rd: 16, rt: 1, shamt });
+        p.push(Instr::Sll {
+            rd: 16,
+            rt: 1,
+            shamt,
+        });
         p.push(store_sig(slot, 16));
         slot += 1;
-        p.push(Instr::Srl { rd: 17, rt: 2, shamt });
+        p.push(Instr::Srl {
+            rd: 17,
+            rt: 2,
+            shamt,
+        });
         p.push(store_sig(slot, 17));
         slot += 1;
     }
@@ -118,9 +142,17 @@ pub fn regfile_march() -> SbstProgram {
     }
     // Phase 3: complement march — xor each register with all-ones and store.
     p.push(Instr::Lui { rt: 1, imm: 0xFFFF });
-    p.push(Instr::Ori { rt: 1, rs: 1, imm: 0xFFFF });
+    p.push(Instr::Ori {
+        rt: 1,
+        rs: 1,
+        imm: 0xFFFF,
+    });
     for r in 2u8..32 {
-        p.push(Instr::Xor { rd: r, rs: r, rt: 1 });
+        p.push(Instr::Xor {
+            rd: r,
+            rs: r,
+            rt: 1,
+        });
         p.push(store_sig(31 + r as i16 - 2, r));
     }
     p.push(Instr::Halt);
@@ -132,18 +164,54 @@ pub fn regfile_march() -> SbstProgram {
 pub fn branch_test() -> SbstProgram {
     let p = vec![
         // 0: r1 = 0 (signature), r2 = loop counter
-        Instr::Addi { rt: 1, rs: 0, imm: 0 },
-        Instr::Addi { rt: 2, rs: 0, imm: 6 },
+        Instr::Addi {
+            rt: 1,
+            rs: 0,
+            imm: 0,
+        },
+        Instr::Addi {
+            rt: 2,
+            rs: 0,
+            imm: 6,
+        },
         // 2: loop: signature = signature * 2 + counter  (via shifts/adds)
-        Instr::Sll { rd: 1, rt: 1, shamt: 1 },
-        Instr::Add { rd: 1, rs: 1, rt: 2 },
-        Instr::Addi { rt: 2, rs: 2, imm: -1 },
-        Instr::Bne { rs: 2, rt: 0, imm: -4 },
+        Instr::Sll {
+            rd: 1,
+            rt: 1,
+            shamt: 1,
+        },
+        Instr::Add {
+            rd: 1,
+            rs: 1,
+            rt: 2,
+        },
+        Instr::Addi {
+            rt: 2,
+            rs: 2,
+            imm: -1,
+        },
+        Instr::Bne {
+            rs: 2,
+            rt: 0,
+            imm: -4,
+        },
         // 6: not-taken branch (r2 == 0 here, so bne falls through)
-        Instr::Bne { rs: 2, rt: 0, imm: 10 },
+        Instr::Bne {
+            rs: 2,
+            rt: 0,
+            imm: 10,
+        },
         // 7: taken beq over a poison instruction
-        Instr::Beq { rs: 2, rt: 0, imm: 1 },
-        Instr::Addi { rt: 1, rs: 0, imm: 0x7FF }, // must be skipped
+        Instr::Beq {
+            rs: 2,
+            rt: 0,
+            imm: 1,
+        },
+        Instr::Addi {
+            rt: 1,
+            rs: 0,
+            imm: 0x7FF,
+        }, // must be skipped
         // 9: store intermediate signature
         store_sig(0, 1),
         // 10: call the subroutine at 14
@@ -153,7 +221,11 @@ pub fn branch_test() -> SbstProgram {
         store_sig(2, 31),
         Instr::Halt,
         // 14: subroutine: r5 = r1 + 0x111, return via jump to 11
-        Instr::Addi { rt: 5, rs: 1, imm: 0x111 },
+        Instr::Addi {
+            rt: 5,
+            rs: 1,
+            imm: 0x111,
+        },
         Instr::J { target: 11 },
     ];
     SbstProgram::new("branch", p)
@@ -163,15 +235,39 @@ pub fn branch_test() -> SbstProgram {
 pub fn memory_test() -> SbstProgram {
     let mut p = Vec::new();
     p.push(Instr::Lui { rt: 1, imm: 0xDEAD });
-    p.push(Instr::Ori { rt: 1, rs: 1, imm: 0xBEEF });
-    p.push(Instr::Addi { rt: 2, rs: 0, imm: 0x600 });
+    p.push(Instr::Ori {
+        rt: 1,
+        rs: 1,
+        imm: 0xBEEF,
+    });
+    p.push(Instr::Addi {
+        rt: 2,
+        rs: 0,
+        imm: 0x600,
+    });
     // Store the pattern at increasing strides, read each back, accumulate.
     let mut slot = 0i16;
     for stride in [0i16, 4, 8, 16, 32, 64, 128] {
-        p.push(Instr::Sw { rt: 1, rs: 2, imm: stride });
-        p.push(Instr::Lw { rt: 3, rs: 2, imm: stride });
-        p.push(Instr::Add { rd: 4, rs: 4, rt: 3 });
-        p.push(Instr::Xori { rt: 1, rs: 1, imm: 0x00FF });
+        p.push(Instr::Sw {
+            rt: 1,
+            rs: 2,
+            imm: stride,
+        });
+        p.push(Instr::Lw {
+            rt: 3,
+            rs: 2,
+            imm: stride,
+        });
+        p.push(Instr::Add {
+            rd: 4,
+            rs: 4,
+            rt: 3,
+        });
+        p.push(Instr::Xori {
+            rt: 1,
+            rs: 1,
+            imm: 0x00FF,
+        });
         p.push(store_sig(slot, 4));
         slot += 1;
     }

@@ -73,7 +73,10 @@ impl Soc {
     /// equivalent list from toggle analysis, as the paper does.
     pub fn mission_tied_inputs(&self) -> Vec<(NetId, bool)> {
         let mut tied = Vec::new();
-        tied.push((self.debug.enable_net, self.debug.config.mission_enable_value));
+        tied.push((
+            self.debug.enable_net,
+            self.debug.config.mission_enable_value,
+        ));
         for &net in &self.debug.data_nets {
             tied.push((net, false));
         }
@@ -208,7 +211,8 @@ impl SocBuilder {
 
         let bist = config.bist.as_ref().map(|bist_config| {
             // The BIST compacts the low bits of the data-address bus.
-            let observed: Vec<NetId> = interface.dmem_addr[..16.min(interface.dmem_addr.len())].to_vec();
+            let observed: Vec<NetId> =
+                interface.dmem_addr[..16.min(interface.dmem_addr.len())].to_vec();
             generate_bist(&mut builder, interface.clock, &observed, bist_config)
         });
 
@@ -230,7 +234,8 @@ impl SocBuilder {
         let mut observe_nets: Vec<NetId> = Vec::new();
         observe_nets.extend(&interface.regfile_read_a);
         observe_nets.extend(&interface.pc);
-        let debug = insert_debug_access(&mut netlist, &control_targets, &observe_nets, &config.debug);
+        let debug =
+            insert_debug_access(&mut netlist, &control_targets, &observe_nets, &config.debug);
 
         // Scan insertion last, so the debug and JTAG flip-flops are stitched
         // into the chains as well.
@@ -314,7 +319,11 @@ mod tests {
     fn address_registers_cover_pc_and_btb() {
         let soc = SocBuilder::small().build();
         let regs = soc.address_registers();
-        assert!(regs.len() >= 32, "at least the 32 PC bits, got {}", regs.len());
+        assert!(
+            regs.len() >= 32,
+            "at least the 32 PC bits, got {}",
+            regs.len()
+        );
         let groups: Vec<String> = regs
             .iter()
             .map(|&(c, _)| soc.netlist.cell(c).attrs().group.clone())

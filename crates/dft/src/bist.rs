@@ -138,11 +138,7 @@ mod tests {
     use netlist::NetlistBuilder;
     use std::collections::HashMap;
 
-    fn lfsr_state(
-        n: &netlist::Netlist,
-        state: &[Logic],
-        q: &[NetId],
-    ) -> u64 {
+    fn lfsr_state(n: &netlist::Netlist, state: &[Logic], q: &[NetId]) -> u64 {
         q.iter()
             .enumerate()
             .map(|(i, &net)| {
@@ -156,7 +152,15 @@ mod tests {
     fn lfsr_advances_only_when_enabled() {
         let mut b = NetlistBuilder::new("bist");
         let ck = b.input("ck");
-        let block = generate_bist(&mut b, ck, &[], &BistConfig { width: 8, ..BistConfig::default() });
+        let block = generate_bist(
+            &mut b,
+            ck,
+            &[],
+            &BistConfig {
+                width: 8,
+                ..BistConfig::default()
+            },
+        );
         b.output_bus("sig", &block.misr);
         let n = b.finish();
         let sim = SeqSim::new(&n).unwrap();
@@ -177,7 +181,11 @@ mod tests {
             step(&mut state, true, &sim);
             seen.insert(lfsr_state(&n, &state, &block.lfsr));
         }
-        assert!(seen.len() > 20, "LFSR should visit many states, saw {}", seen.len());
+        assert!(
+            seen.len() > 20,
+            "LFSR should visit many states, saw {}",
+            seen.len()
+        );
         // Freeze again: the state holds.
         let frozen = lfsr_state(&n, &state, &block.lfsr);
         step(&mut state, false, &sim);
@@ -216,8 +224,15 @@ mod tests {
         };
         let sig_a = run(&[0x3, 0x5, 0xA, 0xF]);
         let sig_b = run(&[0x3, 0x5, 0xB, 0xF]);
-        assert_ne!(sig_a, sig_b, "a single-bit difference must change the signature");
-        assert_eq!(sig_a, run(&[0x3, 0x5, 0xA, 0xF]), "signature is deterministic");
+        assert_ne!(
+            sig_a, sig_b,
+            "a single-bit difference must change the signature"
+        );
+        assert_eq!(
+            sig_a,
+            run(&[0x3, 0x5, 0xA, 0xF]),
+            "signature is deterministic"
+        );
     }
 
     #[test]

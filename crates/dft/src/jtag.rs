@@ -161,10 +161,7 @@ pub fn generate_jtag(builder: &mut NetlistBuilder, clock: NetId, config: &JtagCo
     let state_d: Vec<NetId> = (0..4)
         .map(|i| builder.netlist_mut().add_net(format!("tap_state_d{i}")))
         .collect();
-    let state_q: Word = state_d
-        .iter()
-        .map(|&d| builder.dff(d, clock))
-        .collect();
+    let state_q: Word = state_d.iter().map(|&d| builder.dff(d, clock)).collect();
 
     let mut next_words: Vec<Word> = Vec::with_capacity(16);
     for code in 0..16u8 {

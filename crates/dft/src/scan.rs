@@ -140,10 +140,8 @@ pub fn insert_scan(netlist: &mut Netlist, config: &ScanConfig) -> ScanInsertion 
                 .expect("flip-flops always drive a net");
         }
 
-        let scan_out_port = netlist.add_output(
-            format!("{}{}", config.scan_out_prefix, chain_idx),
-            prev_net,
-        );
+        let scan_out_port =
+            netlist.add_output(format!("{}{}", config.scan_out_prefix, chain_idx), prev_net);
         chains.push(ScanChain {
             scan_in_port: si_port,
             scan_in_net: si_net,
@@ -267,7 +265,12 @@ mod tests {
         insert_scan(&mut n, &ScanConfig::default());
         let ff = n.sequential_cells()[0];
         let kind = n.cell(ff).kind();
-        assert_eq!(kind, CellKind::Sdff { reset: Some(Reset::ActiveLow) });
+        assert_eq!(
+            kind,
+            CellKind::Sdff {
+                reset: Some(Reset::ActiveLow)
+            }
+        );
         let rst_pin = kind.reset_pin().unwrap();
         assert_eq!(n.input_net(ff, rst_pin), rst);
     }

@@ -259,7 +259,8 @@ fn next_element(
             {
                 if let Some(out) = cell.output() {
                     buffers.push(load.cell);
-                    if let Some(hit) = dfs(netlist, out, visited, buffers, depth + 1, scan_out_prefix)
+                    if let Some(hit) =
+                        dfs(netlist, out, visited, buffers, depth + 1, scan_out_prefix)
                     {
                         return Some(hit);
                     }
@@ -302,7 +303,11 @@ mod tests {
     use crate::scan::{insert_scan, ScanConfig};
     use netlist::NetlistBuilder;
 
-    fn scanned_design(n_ffs: usize, chains: usize, buffers: bool) -> (Netlist, crate::scan::ScanInsertion) {
+    fn scanned_design(
+        n_ffs: usize,
+        chains: usize,
+        buffers: bool,
+    ) -> (Netlist, crate::scan::ScanInsertion) {
         let mut b = NetlistBuilder::new("seq");
         let ck = b.input("ck");
         let d = b.input_bus("d", n_ffs);
@@ -334,7 +339,10 @@ mod tests {
             assert_eq!(traced.scan_out_port, Some(inserted.scan_out_port));
         }
         assert_eq!(trace.scan_enable_nets.len(), 1);
-        assert_eq!(trace.scan_enable_nets[0], insertion.scan_enable_net.unwrap());
+        assert_eq!(
+            trace.scan_enable_nets[0],
+            insertion.scan_enable_net.unwrap()
+        );
     }
 
     #[test]

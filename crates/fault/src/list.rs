@@ -355,7 +355,10 @@ mod tests {
         let mut master2 = master.clone();
         let before = master2.class_of(StuckAt::input(and, 0, false)).unwrap();
         master2.import_classes(&analysed, |_| Some(FaultClass::Detected));
-        assert_eq!(master2.class_of(StuckAt::input(and, 0, false)), Some(before));
+        assert_eq!(
+            master2.class_of(StuckAt::input(and, 0, false)),
+            Some(before)
+        );
     }
 
     #[test]

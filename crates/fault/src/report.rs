@@ -169,8 +169,8 @@ impl UntestableSummary {
     pub fn from_counts(counts: &ClassCounts) -> Self {
         let total = counts.total();
         let scan = counts.online(UntestableSource::Scan);
-        let debug =
-            counts.online(UntestableSource::DebugControl) + counts.online(UntestableSource::DebugObservation);
+        let debug = counts.online(UntestableSource::DebugControl)
+            + counts.online(UntestableSource::DebugObservation);
         let memory = counts.online(UntestableSource::MemoryMap);
         let sum = scan + debug + memory;
         let pct = |n: usize| ratio(n, total) * 100.0;
@@ -241,7 +241,10 @@ mod tests {
             FaultClass::OnlineUntestable(UntestableSource::DebugObservation),
             20,
         );
-        c.add(FaultClass::OnlineUntestable(UntestableSource::MemoryMap), 30);
+        c.add(
+            FaultClass::OnlineUntestable(UntestableSource::MemoryMap),
+            30,
+        );
         c
     }
 

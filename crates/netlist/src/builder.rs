@@ -226,7 +226,13 @@ impl NetlistBuilder {
         self.gate(CellKind::Xnor(2), "xnor", &[a, b])
     }
 
-    fn nary(&mut self, make: fn(u8) -> CellKind, short: &str, identity: bool, inputs: &[NetId]) -> NetId {
+    fn nary(
+        &mut self,
+        make: fn(u8) -> CellKind,
+        short: &str,
+        identity: bool,
+        inputs: &[NetId],
+    ) -> NetId {
         match inputs.len() {
             0 => {
                 if identity {
@@ -319,7 +325,9 @@ impl NetlistBuilder {
 
     /// A register with asynchronous reset.
     pub fn register_r(&mut self, d: &[NetId], ck: NetId, rst: NetId, reset: Reset) -> Word {
-        d.iter().map(|&bit| self.dff_r(bit, ck, rst, reset)).collect()
+        d.iter()
+            .map(|&bit| self.dff_r(bit, ck, rst, reset))
+            .collect()
     }
 
     /// A register with a write-enable: each bit holds its value when `en = 0`
@@ -535,7 +543,9 @@ impl NetlistBuilder {
     /// used; larger amounts saturate to zero output).
     pub fn shift_left(&mut self, a: &[NetId], amount: &[NetId]) -> Word {
         let width = a.len();
-        let stages = amount.len().min(usize::BITS as usize - (width.leading_zeros() as usize));
+        let stages = amount
+            .len()
+            .min(usize::BITS as usize - (width.leading_zeros() as usize));
         let mut current: Word = a.to_vec();
         let zero = self.tie0();
         for (stage, &sel) in amount.iter().enumerate().take(stages.max(amount.len())) {
@@ -587,7 +597,11 @@ mod tests {
     /// Evaluates a purely combinational builder output with two-valued logic
     /// by walking drivers recursively (test helper — the real simulator lives
     /// in the `atpg` crate).
-    fn eval(netlist: &Netlist, assignment: &std::collections::HashMap<NetId, bool>, net: NetId) -> bool {
+    fn eval(
+        netlist: &Netlist,
+        assignment: &std::collections::HashMap<NetId, bool>,
+        net: NetId,
+    ) -> bool {
         if let Some(&v) = assignment.get(&net) {
             return v;
         }
@@ -598,10 +612,16 @@ mod tests {
             .iter()
             .map(|&n| eval(netlist, assignment, n))
             .collect();
-        cell.kind().eval_bool(&inputs).expect("sequential cell in eval")
+        cell.kind()
+            .eval_bool(&inputs)
+            .expect("sequential cell in eval")
     }
 
-    fn word_value(netlist: &Netlist, assignment: &std::collections::HashMap<NetId, bool>, word: &[NetId]) -> u64 {
+    fn word_value(
+        netlist: &Netlist,
+        assignment: &std::collections::HashMap<NetId, bool>,
+        word: &[NetId],
+    ) -> u64 {
         word.iter()
             .enumerate()
             .map(|(i, &n)| (eval(netlist, assignment, n) as u64) << i)
@@ -693,8 +713,16 @@ mod tests {
                 let mut env = std::collections::HashMap::new();
                 assign(&a, value, &mut env);
                 assign(&amt, shift, &mut env);
-                assert_eq!(word_value(&n, &env, &sl), (value << shift) & 0xff, "sll {value} {shift}");
-                assert_eq!(word_value(&n, &env, &sr), value >> shift, "srl {value} {shift}");
+                assert_eq!(
+                    word_value(&n, &env, &sl),
+                    (value << shift) & 0xff,
+                    "sll {value} {shift}"
+                );
+                assert_eq!(
+                    word_value(&n, &env, &sr),
+                    value >> shift,
+                    "srl {value} {shift}"
+                );
             }
         }
     }

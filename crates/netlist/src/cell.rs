@@ -275,7 +275,10 @@ impl CellKind {
             return fixed;
         }
         let parse_arity = |prefix: &str| -> Option<u8> {
-            name.strip_prefix(prefix)?.parse::<u8>().ok().filter(|&n| (2..=32).contains(&n))
+            name.strip_prefix(prefix)?
+                .parse::<u8>()
+                .ok()
+                .filter(|&n| (2..=32).contains(&n))
         };
         if let Some(n) = parse_arity("NAND") {
             return Some(CellKind::Nand(n));
@@ -325,10 +328,9 @@ impl CellKind {
             CellKind::Xor(_) => Some(inputs.iter().fold(false, |acc, &v| acc ^ v)),
             CellKind::Xnor(_) => Some(!inputs.iter().fold(false, |acc, &v| acc ^ v)),
             CellKind::Mux2 => Some(if inputs[2] { inputs[1] } else { inputs[0] }),
-            CellKind::Input
-            | CellKind::Output
-            | CellKind::Dff { .. }
-            | CellKind::Sdff { .. } => None,
+            CellKind::Input | CellKind::Output | CellKind::Dff { .. } | CellKind::Sdff { .. } => {
+                None
+            }
         }
     }
 
@@ -530,7 +532,11 @@ mod tests {
         ];
         for kind in kinds {
             let name = kind.lib_name();
-            assert_eq!(CellKind::from_lib_name(&name), Some(kind), "roundtrip {name}");
+            assert_eq!(
+                CellKind::from_lib_name(&name),
+                Some(kind),
+                "roundtrip {name}"
+            );
         }
         assert_eq!(CellKind::from_lib_name("FOO"), None);
         assert_eq!(CellKind::from_lib_name("AND1"), None);
@@ -556,7 +562,10 @@ mod tests {
             "S=1 selects D1"
         );
         assert_eq!(CellKind::Mux2.eval_bool(&[false, true, false]), Some(false));
-        assert_eq!(CellKind::Dff { reset: None }.eval_bool(&[true, false]), None);
+        assert_eq!(
+            CellKind::Dff { reset: None }.eval_bool(&[true, false]),
+            None
+        );
     }
 
     #[test]

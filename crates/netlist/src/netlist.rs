@@ -220,7 +220,9 @@ impl Netlist {
         }
         let id = CellId::from_index(self.cells.len());
         for (pin, &net) in inputs.iter().enumerate() {
-            self.nets[net.index()].loads.push(PinRef::new(id, pin as PinIndex));
+            self.nets[net.index()]
+                .loads
+                .push(PinRef::new(id, pin as PinIndex));
         }
         if let Some(out) = output {
             self.nets[out.index()].driver = Some(id);
@@ -383,8 +385,9 @@ impl Netlist {
 
     /// Looks up the primary input cell whose name is `name`.
     pub fn find_input(&self, name: &str) -> Option<CellId> {
-        self.find_cell(name)
-            .filter(|&c| self.cells[c.index()].kind == CellKind::Input && !self.cells[c.index()].dead)
+        self.find_cell(name).filter(|&c| {
+            self.cells[c.index()].kind == CellKind::Input && !self.cells[c.index()].dead
+        })
     }
 
     /// The net connected to input pin `pin` of `cell`.
@@ -493,7 +496,11 @@ impl Netlist {
     /// Creates (or reuses) a tie cell of the requested constant value and
     /// returns the net it drives.
     pub fn tie_net(&mut self, value: bool) -> NetId {
-        let kind = if value { CellKind::Tie1 } else { CellKind::Tie0 };
+        let kind = if value {
+            CellKind::Tie1
+        } else {
+            CellKind::Tie0
+        };
         // Reuse an existing live tie cell if one exists.
         for (id, cell) in self.live_cells() {
             if cell.kind == kind {
@@ -504,7 +511,12 @@ impl Netlist {
             }
         }
         let net = self.add_net(if value { "tie1" } else { "tie0" });
-        self.add_cell(kind, if value { "u_tie1" } else { "u_tie0" }, &[], Some(net));
+        self.add_cell(
+            kind,
+            if value { "u_tie1" } else { "u_tie0" },
+            &[],
+            Some(net),
+        );
         net
     }
 
@@ -541,7 +553,9 @@ impl Netlist {
             self.nets[net.index()].loads.retain(|&l| l != pinref);
         }
         for (pin, &net) in inputs.iter().enumerate() {
-            self.nets[net.index()].loads.push(PinRef::new(cell, pin as PinIndex));
+            self.nets[net.index()]
+                .loads
+                .push(PinRef::new(cell, pin as PinIndex));
         }
         self.cells[cell.index()].kind = kind;
         self.cells[cell.index()].inputs = inputs.to_vec();

@@ -77,10 +77,7 @@ pub fn validate(netlist: &Netlist, options: ValidateOptions) -> Vec<ValidationIs
 
     for net_id in netlist.net_ids() {
         let net = netlist.net(net_id);
-        let has_live_loads = net
-            .loads()
-            .iter()
-            .any(|l| !netlist.cell(l.cell).is_dead());
+        let has_live_loads = net.loads().iter().any(|l| !netlist.cell(l.cell).is_dead());
         let has_live_driver = net
             .driver()
             .map(|d| !netlist.cell(d).is_dead())

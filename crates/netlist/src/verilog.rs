@@ -21,7 +21,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verilog parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "verilog parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -139,7 +143,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(text: &'a str) -> Self {
-        Lexer { text, pos: 0, line: 1 }
+        Lexer {
+            text,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -276,7 +284,9 @@ impl<'a> Parser<'a> {
         if ident == kw {
             Ok(())
         } else {
-            Err(self.lexer.error(format!("expected `{kw}`, found `{ident}`")))
+            Err(self
+                .lexer
+                .error(format!("expected `{kw}`, found `{ident}`")))
         }
     }
 
@@ -361,7 +371,8 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseError> {
             "wire" => {
                 p.advance()?;
                 for name in p.ident_list_until_semicolon()? {
-                    nets.entry(name.clone()).or_insert_with(|| netlist.add_net(&name));
+                    nets.entry(name.clone())
+                        .or_insert_with(|| netlist.add_net(&name));
                 }
             }
             _ => {
@@ -400,8 +411,9 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseError> {
                         ))
                     })?;
                     let net = *nets.get(net_name).ok_or_else(|| {
-                        p.lexer
-                            .error(format!("instance `{inst_name}`: undeclared net `{net_name}`"))
+                        p.lexer.error(format!(
+                            "instance `{inst_name}`: undeclared net `{net_name}`"
+                        ))
                     })?;
                     input_ids.push(net);
                 }
@@ -413,8 +425,9 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseError> {
                         ))
                     })?;
                     Some(*nets.get(net_name).ok_or_else(|| {
-                        p.lexer
-                            .error(format!("instance `{inst_name}`: undeclared net `{net_name}`"))
+                        p.lexer.error(format!(
+                            "instance `{inst_name}`: undeclared net `{net_name}`"
+                        ))
                     })?)
                 } else {
                     None

@@ -208,7 +208,8 @@ fn remove_cell_keeps_invariants() {
         n.remove_cell(id);
     }
     for &net in a.iter().chain(b.iter()) {
-        assert!(n.loads_of(net).iter().all(|l| n.cell(l.cell).is_dead() || !n.cell(l.cell).is_dead() && n.cell(l.cell).kind() == CellKind::Output));
+        assert!(n.loads_of(net).iter().all(|l| n.cell(l.cell).is_dead()
+            || !n.cell(l.cell).is_dead() && n.cell(l.cell).kind() == CellKind::Output));
         assert!(n
             .loads_of(net)
             .iter()

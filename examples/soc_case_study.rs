@@ -25,7 +25,10 @@ fn main() {
 
     println!("{report}");
     println!();
-    println!("wall-clock for the whole flow: {:.3} s", elapsed.as_secs_f64());
+    println!(
+        "wall-clock for the whole flow: {:.3} s",
+        elapsed.as_secs_f64()
+    );
     println!();
     println!("Paper Table I (for comparison, 214,930-fault industrial design):");
     println!("  Scan    19,142  ( 8.9%)");

@@ -1,0 +1,15 @@
+//! Guards the README's advertised entry point: `cargo run --example
+//! quickstart` must keep exiting successfully, so the quickstart cannot
+//! silently rot while the rest of the test suite stays green.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_exits_zero() {
+    let status = Command::new(env!("CARGO"))
+        .args(["run", "--offline", "--example", "quickstart"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .status()
+        .expect("failed to spawn cargo");
+    assert!(status.success(), "quickstart example exited with {status}");
+}

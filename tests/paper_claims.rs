@@ -5,7 +5,10 @@ use faultmodel::UntestableSource;
 use online_untestable::flow::{FlowConfig, IdentificationFlow};
 use untestable_repro::prelude::*;
 
-fn run_small() -> (cpu::soc::Soc, online_untestable::report::IdentificationReport) {
+fn run_small() -> (
+    cpu::soc::Soc,
+    online_untestable::report::IdentificationReport,
+) {
     let soc = SocBuilder::small().build();
     let report = IdentificationFlow::new(FlowConfig::default())
         .run(&soc)

@@ -1,0 +1,195 @@
+//! Offline stand-in for the subset of the `criterion` benchmark harness this
+//! workspace uses: [`Criterion::benchmark_group`], the group configuration
+//! builders, [`Bencher::iter`], [`BenchmarkId`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery this harness performs a
+//! wall-clock measurement: it warms up for `warm_up_time`, then runs timed
+//! batches until `measurement_time` elapses (at least `sample_size`
+//! iterations) and prints the mean, minimum and maximum iteration time.
+//! `cargo bench` output therefore stays human-readable and comparable
+//! across runs on the same machine, which is all the reproduction needs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to run the function untimed before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target duration of the timed measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Measures a benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Measures a benchmark function that borrows a prepared input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (The stand-in reports per benchmark, so this is
+    /// only a marker that mirrors criterion's API.)
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterised benchmark: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// The timing loop handed to the closure of a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up and then collecting samples until the
+    /// measurement time and the sample-size floor are both satisfied.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(f());
+        }
+        let measure_start = Instant::now();
+        while self.samples < self.sample_size as u64
+            || measure_start.elapsed() < self.measurement_time
+        {
+            let t0 = Instant::now();
+            black_box(f());
+            let elapsed = t0.elapsed();
+            self.samples += 1;
+            self.total += elapsed;
+            self.min = self.min.min(elapsed);
+            self.max = self.max.max(elapsed);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples == 0 {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let mean = self.total / u32::try_from(self.samples).unwrap_or(u32::MAX).max(1);
+        println!(
+            "{label:<50} time: [{:>12.3?} {mean:>12.3?} {:>12.3?}]  ({} samples)",
+            self.min, self.max, self.samples
+        );
+    }
+}
+
+/// Declares a function that runs a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function of a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

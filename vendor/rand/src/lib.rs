@@ -1,0 +1,90 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses:
+//! a seedable [`rngs::StdRng`], the [`Rng`]/[`SeedableRng`] traits and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is SplitMix64 — statistically fine for test-pattern
+//! campaigns and shuffles, deterministic for a given seed, and entirely
+//! dependency-free. It makes no attempt to be bit-compatible with the real
+//! `rand` crate's `StdRng` stream.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, the same construction rand itself uses.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_index bound must be positive");
+        // Multiply-shift bounded sampling; the modulo bias of a plain `%`
+        // would be irrelevant here, but this is just as cheap.
+        (((self.next_u64() >> 32) * bound as u64) >> 32) as usize
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait providing random operations on slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_index(i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}

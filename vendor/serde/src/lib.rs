@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` (and `#[serde(skip)]` on a few
+//! fields) but never actually serializes anything, so these derives expand
+//! to nothing. The `serde` helper attribute is declared so the inert
+//! field/variant attributes keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive macro.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive macro.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
