@@ -189,11 +189,7 @@ impl StructuralAnalysis {
         let observability = self.observability(netlist, &constants);
         let mut outcome = AnalysisOutcome::default();
 
-        let targets: Vec<StuckAt> = faults
-            .iter()
-            .filter(|&(_, class)| class == FaultClass::Undetected)
-            .map(|(f, _)| f)
-            .collect();
+        let targets: Vec<StuckAt> = faults.undetected().map(|(_, f)| f).collect();
         outcome.examined = targets.len();
 
         let mut podem_candidates: Vec<StuckAt> = Vec::new();
@@ -227,7 +223,7 @@ impl StructuralAnalysis {
         }
 
         if self.config.prove_redundancy && !podem_candidates.is_empty() {
-            let podem = Podem::new(
+            let mut podem = Podem::new(
                 netlist,
                 &self.config.constraints,
                 PodemConfig {

@@ -124,11 +124,12 @@ pub fn propagate_constants(
 ) -> Result<ConstantValues, graph::CombinationalLoop> {
     let sim = CombSim::new(netlist)?;
     let mut values = sim.blank_values();
+    let mut scratch = sim.scratch();
     let forced: HashMap<NetId, Logic> = constraints.forced_nets.clone();
 
     // Primary inputs without constraints stay X; flip-flop outputs start X
     // (combinational mode) and are refined by the fixpoint when requested.
-    sim.propagate(&mut values, &forced, None);
+    sim.propagate_with(&mut values, &forced, None, &mut scratch);
 
     if constraints.sequential_fixpoint {
         let flops = netlist.sequential_cells();
@@ -183,7 +184,7 @@ pub fn propagate_constants(
             for (q, v) in &next_states {
                 forced_with_state.insert(*q, *v);
             }
-            sim.propagate(&mut values, &forced_with_state, None);
+            sim.propagate_with(&mut values, &forced_with_state, None, &mut scratch);
             if !changed {
                 break;
             }

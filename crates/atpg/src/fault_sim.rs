@@ -1,4 +1,4 @@
-//! Parallel-fault stuck-at fault simulation.
+//! Parallel-fault stuck-at fault simulation on the compiled engine.
 //!
 //! The simulator packs up to 63 faulty machines plus the good machine into
 //! the bits of a `u64` per net and simulates them in lockstep over a sequence
@@ -11,13 +11,22 @@
 //! primary input it mentions (unmentioned inputs default to 0). This is the
 //! standard setting for evaluating SBST program coverage, where the processor
 //! is reset before the test program runs.
+//!
+//! The heavy lifting happens in [`CompiledProgram`]: the netlist is lowered
+//! once into a flat struct-of-arrays program, input vectors are bit-packed
+//! once per campaign, fault injection is a dense per-chunk override table,
+//! and every per-cycle buffer is reused — the hot path performs no hash-map
+//! lookup and no allocation. Chunks of still-undetected faults are fanned out
+//! across scoped worker threads, each with its own scratch.
 
-use faultmodel::{FaultClass, FaultList, FaultSite, StuckAt};
-use netlist::{graph, CellId, CellKind, NetId, Netlist, PinIndex, Reset};
+use crate::compiled::{CompiledProgram, PackedInjection, PackedScratch, PackedVectors};
+use faultmodel::{FaultClass, FaultList, StuckAt};
+use netlist::{graph, CellId, Netlist};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One input vector: values applied to primary-input nets for one cycle.
-pub type InputVector = HashMap<NetId, bool>;
+pub type InputVector = HashMap<netlist::NetId, bool>;
 
 /// Result of a fault-simulation campaign.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -32,110 +41,20 @@ pub struct FaultSimOutcome {
 #[derive(Debug)]
 pub struct FaultSim<'a> {
     netlist: &'a Netlist,
-    order: Vec<CellId>,
-    flops: Vec<CellId>,
+    program: CompiledProgram,
     outputs: Vec<CellId>,
 }
 
-struct ChunkInjection {
-    /// Output-pin overrides per net: (mask, stuck bits).
-    net_overrides: HashMap<NetId, Vec<(u64, u64)>>,
-    /// Input-pin overrides per cell: (pin, mask, stuck bits).
-    pin_overrides: HashMap<CellId, Vec<(PinIndex, u64, u64)>>,
-    /// Mask of bits that carry a fault (bit 0 — the good machine — excluded).
-    fault_bits: u64,
-}
-
-impl ChunkInjection {
-    fn new(netlist: &Netlist, chunk: &[StuckAt]) -> Self {
-        let mut net_overrides: HashMap<NetId, Vec<(u64, u64)>> = HashMap::new();
-        let mut pin_overrides: HashMap<CellId, Vec<(PinIndex, u64, u64)>> = HashMap::new();
-        let mut fault_bits = 0u64;
-        for (i, fault) in chunk.iter().enumerate() {
-            let bit = 1u64 << (i + 1);
-            fault_bits |= bit;
-            let stuck = if fault.value { bit } else { 0 };
-            match fault.site {
-                FaultSite::CellOutput { cell } => {
-                    if let Some(net) = netlist.output_net(cell) {
-                        net_overrides.entry(net).or_default().push((bit, stuck));
-                    }
-                }
-                FaultSite::CellInput { cell, pin } => {
-                    pin_overrides
-                        .entry(cell)
-                        .or_default()
-                        .push((pin, bit, stuck));
-                }
-            }
-        }
-        ChunkInjection {
-            net_overrides,
-            pin_overrides,
-            fault_bits,
-        }
-    }
-
-    #[inline]
-    fn apply_net(&self, net: NetId, value: u64) -> u64 {
-        match self.net_overrides.get(&net) {
-            None => value,
-            Some(overrides) => {
-                let mut v = value;
-                for &(mask, stuck) in overrides {
-                    v = (v & !mask) | stuck;
-                }
-                v
-            }
-        }
-    }
-
-    #[inline]
-    fn apply_pin(&self, cell: CellId, pin: PinIndex, value: u64) -> u64 {
-        match self.pin_overrides.get(&cell) {
-            None => value,
-            Some(overrides) => {
-                let mut v = value;
-                for &(p, mask, stuck) in overrides {
-                    if p == pin {
-                        v = (v & !mask) | stuck;
-                    }
-                }
-                v
-            }
-        }
-    }
-}
-
-fn eval_packed(kind: CellKind, inputs: &[u64]) -> u64 {
-    match kind {
-        CellKind::Tie0 => 0,
-        CellKind::Tie1 => !0,
-        CellKind::Buf => inputs[0],
-        CellKind::Not => !inputs[0],
-        CellKind::And(_) => inputs.iter().fold(!0u64, |acc, &v| acc & v),
-        CellKind::Nand(_) => !inputs.iter().fold(!0u64, |acc, &v| acc & v),
-        CellKind::Or(_) => inputs.iter().fold(0u64, |acc, &v| acc | v),
-        CellKind::Nor(_) => !inputs.iter().fold(0u64, |acc, &v| acc | v),
-        CellKind::Xor(_) => inputs.iter().fold(0u64, |acc, &v| acc ^ v),
-        CellKind::Xnor(_) => !inputs.iter().fold(0u64, |acc, &v| acc ^ v),
-        CellKind::Mux2 => (inputs[0] & !inputs[2]) | (inputs[1] & inputs[2]),
-        CellKind::Input | CellKind::Output | CellKind::Dff { .. } | CellKind::Sdff { .. } => 0,
-    }
-}
-
 impl<'a> FaultSim<'a> {
-    /// Builds the simulator.
+    /// Builds the simulator (compiles the netlist into the flat program).
     ///
     /// # Errors
     ///
     /// Returns an error if the combinational logic contains a cycle.
     pub fn new(netlist: &'a Netlist) -> Result<Self, graph::CombinationalLoop> {
-        let lev = graph::levelize(netlist)?;
         Ok(FaultSim {
             netlist,
-            order: lev.order,
-            flops: netlist.sequential_cells(),
+            program: CompiledProgram::compile(netlist)?,
             outputs: netlist.primary_outputs(),
         })
     }
@@ -161,12 +80,34 @@ impl<'a> FaultSim<'a> {
         vectors: &[InputVector],
         observed_outputs: &[CellId],
     ) -> Vec<bool> {
+        self.detect_batches(faults, &[vectors], observed_outputs)
+    }
+
+    /// Grades `faults` against several vector batches (e.g. one SBST program
+    /// per batch, each restarting from the reset state). Faults detected by
+    /// an earlier batch are dropped from the later batches' simulations, so a
+    /// mature suite grades far fewer fault-machines than `batches × faults`.
+    pub fn detect_batches(
+        &self,
+        faults: &[StuckAt],
+        batches: &[&[InputVector]],
+        observed_outputs: &[CellId],
+    ) -> Vec<bool> {
         let mut detected = vec![false; faults.len()];
-        for (chunk_index, chunk) in faults.chunks(63).enumerate() {
-            let mask = self.simulate_chunk(chunk, vectors, observed_outputs);
-            for (i, _) in chunk.iter().enumerate() {
-                if mask & (1u64 << (i + 1)) != 0 {
-                    detected[chunk_index * 63 + i] = true;
+        for &batch in batches {
+            let remaining: Vec<u32> = (0..faults.len() as u32)
+                .filter(|&i| !detected[i as usize])
+                .collect();
+            if remaining.is_empty() {
+                break;
+            }
+            let packed = self.program.pack_vectors(batch);
+            let masks = self.simulate_chunks(&remaining, faults, &packed, observed_outputs);
+            for (chunk, mask) in remaining.chunks(63).zip(masks) {
+                for (bit, &fault_index) in chunk.iter().enumerate() {
+                    if mask & (1u64 << (bit + 1)) != 0 {
+                        detected[fault_index as usize] = true;
+                    }
                 }
             }
         }
@@ -180,19 +121,28 @@ impl<'a> FaultSim<'a> {
         faults: &mut FaultList,
         vectors: &[InputVector],
     ) -> FaultSimOutcome {
-        let targets: Vec<StuckAt> = faults
-            .iter()
-            .filter(|&(_, c)| c == FaultClass::Undetected)
-            .map(|(f, _)| f)
-            .collect();
-        let detected = self.detect(&targets, vectors);
+        self.run_batches_and_classify(faults, &[vectors], &self.outputs)
+    }
+
+    /// Batch-aware [`run_and_classify`](Self::run_and_classify): grades the
+    /// still-undetected faults against every batch in turn (dropping freshly
+    /// detected faults between batches) while observing only the given
+    /// outputs.
+    pub fn run_batches_and_classify(
+        &self,
+        faults: &mut FaultList,
+        batches: &[&[InputVector]],
+        observed_outputs: &[CellId],
+    ) -> FaultSimOutcome {
+        let (indices, targets): (Vec<usize>, Vec<StuckAt>) = faults.undetected().unzip();
+        let detected = self.detect_batches(&targets, batches, observed_outputs);
         let mut outcome = FaultSimOutcome {
             simulated: targets.len(),
             detected: 0,
         };
-        for (fault, hit) in targets.into_iter().zip(detected) {
+        for (index, hit) in indices.into_iter().zip(detected) {
             if hit {
-                faults.classify(fault, FaultClass::Detected);
+                faults.classify_at(index, FaultClass::Detected);
                 outcome.detected += 1;
             }
         }
@@ -202,136 +152,124 @@ impl<'a> FaultSim<'a> {
     /// Simulates the good machine only and returns the per-cycle values of
     /// the primary outputs (useful for building expected responses).
     pub fn good_responses(&self, vectors: &[InputVector]) -> Vec<Vec<bool>> {
-        let chunk: [StuckAt; 0] = [];
-        let injection = ChunkInjection::new(self.netlist, &chunk);
-        let mut state: HashMap<CellId, u64> = self.flops.iter().map(|&f| (f, 0u64)).collect();
+        let packed = self.program.pack_vectors(vectors);
+        let injection = self.program.packed_injection();
+        let mut scratch = self.program.packed_scratch();
         let mut responses = Vec::with_capacity(vectors.len());
-        for vector in vectors {
-            let values = self.simulate_cycle(vector, &mut state, &injection);
+        for cycle in 0..packed.cycles() {
+            self.program
+                .run_cycle(&packed, cycle, &injection, &mut scratch);
             responses.push(
                 self.outputs
                     .iter()
-                    .map(|&po| {
-                        let net = self.netlist.cell(po).inputs()[0];
-                        values[net.index()] & 1 == 1
-                    })
+                    .map(|&po| self.program.observe_output(&scratch, &injection, po) & 1 == 1)
                     .collect(),
             );
         }
         responses
     }
 
+    /// Simulates every 63-fault chunk of `remaining` (indices into `faults`)
+    /// and returns one detection mask per chunk, fanning the chunks out
+    /// across scoped worker threads when the machine and the workload allow.
+    fn simulate_chunks(
+        &self,
+        remaining: &[u32],
+        faults: &[StuckAt],
+        packed: &PackedVectors,
+        observed_outputs: &[CellId],
+    ) -> Vec<u64> {
+        let chunks: Vec<&[u32]> = remaining.chunks(63).collect();
+        // Spawning workers costs thread setup plus one scratch + injection
+        // table each; only fan out when the campaign amortises that.
+        const MIN_PARALLEL_GATE_EVALS: usize = 4_000_000;
+        let work = chunks.len() * packed.cycles() * self.program.num_gates().max(1);
+        let workers = if work < MIN_PARALLEL_GATE_EVALS {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(chunks.len())
+        };
+        if workers <= 1 {
+            let mut scratch = self.program.packed_scratch();
+            let mut injection = self.program.packed_injection();
+            return chunks
+                .iter()
+                .map(|chunk| {
+                    self.simulate_chunk(
+                        chunk,
+                        faults,
+                        packed,
+                        observed_outputs,
+                        &mut scratch,
+                        &mut injection,
+                    )
+                })
+                .collect();
+        }
+        let results: Vec<AtomicU64> = (0..chunks.len()).map(|_| AtomicU64::new(0)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut scratch = self.program.packed_scratch();
+                    let mut injection = self.program.packed_injection();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&chunk) = chunks.get(i) else { break };
+                        let mask = self.simulate_chunk(
+                            chunk,
+                            faults,
+                            packed,
+                            observed_outputs,
+                            &mut scratch,
+                            &mut injection,
+                        );
+                        results[i].store(mask, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        results.into_iter().map(AtomicU64::into_inner).collect()
+    }
+
     fn simulate_chunk(
         &self,
-        chunk: &[StuckAt],
-        vectors: &[InputVector],
+        chunk: &[u32],
+        faults: &[StuckAt],
+        packed: &PackedVectors,
         observed_outputs: &[CellId],
+        scratch: &mut PackedScratch,
+        injection: &mut PackedInjection,
     ) -> u64 {
-        let injection = ChunkInjection::new(self.netlist, chunk);
-        let mut state: HashMap<CellId, u64> = self.flops.iter().map(|&f| (f, 0u64)).collect();
+        injection.load(
+            &self.program,
+            self.netlist,
+            chunk.iter().map(|&i| faults[i as usize]),
+        );
+        scratch.reset();
         let mut detected = 0u64;
-        for vector in vectors {
-            let values = self.simulate_cycle(vector, &mut state, &injection);
-            // Observe primary outputs.
+        for cycle in 0..packed.cycles() {
+            self.program.run_cycle(packed, cycle, injection, scratch);
             for &po in observed_outputs {
-                let net = self.netlist.cell(po).inputs()[0];
-                let mut observed = values[net.index()];
-                observed = injection.apply_pin(po, 0, observed);
+                let observed = self.program.observe_output(scratch, injection, po);
                 let good = if observed & 1 == 1 { !0u64 } else { 0u64 };
-                detected |= (observed ^ good) & injection.fault_bits;
+                detected |= (observed ^ good) & injection.fault_bits();
             }
-            if detected == injection.fault_bits && !chunk.is_empty() {
+            if detected == injection.fault_bits() && !chunk.is_empty() {
                 break;
             }
         }
         detected
-    }
-
-    fn simulate_cycle(
-        &self,
-        vector: &InputVector,
-        state: &mut HashMap<CellId, u64>,
-        injection: &ChunkInjection,
-    ) -> Vec<u64> {
-        let n = self.netlist;
-        let mut values = vec![0u64; n.num_nets()];
-        // Sources: primary inputs, ties, flip-flop outputs.
-        for (id, cell) in n.live_cells() {
-            let Some(out) = cell.output() else { continue };
-            let value = match cell.kind() {
-                CellKind::Input => {
-                    let name_net = out;
-                    let bit = vector.get(&name_net).copied().unwrap_or(false);
-                    if bit {
-                        !0u64
-                    } else {
-                        0u64
-                    }
-                }
-                CellKind::Tie0 => 0u64,
-                CellKind::Tie1 => !0u64,
-                CellKind::Dff { .. } | CellKind::Sdff { .. } => state[&id],
-                _ => continue,
-            };
-            values[out.index()] = injection.apply_net(out, value);
-        }
-        // Combinational propagation in topological order.
-        let mut input_buffer: Vec<u64> = Vec::with_capacity(8);
-        for &cell_id in &self.order {
-            let cell = n.cell(cell_id);
-            input_buffer.clear();
-            for (pin, &net) in cell.inputs().iter().enumerate() {
-                let v = injection.apply_pin(cell_id, pin as PinIndex, values[net.index()]);
-                input_buffer.push(v);
-            }
-            let mut out_value = eval_packed(cell.kind(), &input_buffer);
-            if let Some(out) = cell.output() {
-                out_value = injection.apply_net(out, out_value);
-                values[out.index()] = out_value;
-            }
-        }
-        // Next state.
-        let mut next: Vec<(CellId, u64)> = Vec::with_capacity(self.flops.len());
-        for &ff in &self.flops {
-            let cell = n.cell(ff);
-            let kind = cell.kind();
-            let read = |pin: PinIndex| -> u64 {
-                injection.apply_pin(ff, pin, values[cell.inputs()[pin as usize].index()])
-            };
-            let mut data = match kind {
-                CellKind::Sdff { .. } => {
-                    let d = read(0);
-                    let si = read(1);
-                    let se = read(2);
-                    (d & !se) | (si & se)
-                }
-                _ => read(0),
-            };
-            if let (Some(reset), Some(rst_pin)) = (kind.reset(), kind.reset_pin()) {
-                let rst = read(rst_pin);
-                let active = match reset {
-                    Reset::ActiveLow => !rst,
-                    Reset::ActiveHigh => rst,
-                };
-                data &= !active;
-            }
-            // A stuck output pin also pins the stored state.
-            if let Some(out) = cell.output() {
-                data = injection.apply_net(out, data);
-            }
-            next.push((ff, data));
-        }
-        for (ff, v) in next {
-            state.insert(ff, v);
-        }
-        values
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netlist::NetlistBuilder;
+    use netlist::{CellKind, NetId, NetlistBuilder};
 
     fn vector(pairs: &[(NetId, bool)]) -> InputVector {
         pairs.iter().copied().collect()
@@ -487,5 +425,49 @@ mod tests {
             &vectors,
         );
         assert_eq!(detected, vec![true, true]);
+    }
+
+    #[test]
+    fn batches_drop_detected_faults_and_agree_with_single_passes() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        let z = b.or2(a, c);
+        b.output("y", y);
+        b.output("z", z);
+        let n = b.finish();
+        let sim = FaultSim::new(&n).unwrap();
+        let faults = FaultList::full_universe(&n).faults().to_vec();
+        let batch1 = vec![vector(&[(a, true), (c, true)])];
+        let batch2 = vec![
+            vector(&[(a, false), (c, true)]),
+            vector(&[(a, true), (c, false)]),
+        ];
+        let combined = sim.detect_batches(&faults, &[&batch1, &batch2], &n.primary_outputs());
+        let first = sim.detect(&faults, &batch1);
+        let second = sim.detect(&faults, &batch2);
+        for i in 0..faults.len() {
+            assert_eq!(combined[i], first[i] || second[i], "fault {:?}", faults[i]);
+        }
+    }
+
+    #[test]
+    fn run_batches_and_classify_counts_each_fault_once() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let n = b.finish();
+        let sim = FaultSim::new(&n).unwrap();
+        let mut faults = FaultList::full_universe(&n);
+        let batch1 = vec![vector(&[(a, true)])];
+        let batch2 = vec![vector(&[(a, false)])];
+        let outcome =
+            sim.run_batches_and_classify(&mut faults, &[&batch1, &batch2], &n.primary_outputs());
+        assert_eq!(outcome.simulated, faults.len());
+        assert_eq!(outcome.detected, faults.counts().detected);
+        // Exhaustive single-input patterns detect everything on a BUF/NOT path.
+        assert_eq!(outcome.detected, faults.len());
     }
 }

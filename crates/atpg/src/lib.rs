@@ -4,6 +4,10 @@
 //!
 //! The crate provides:
 //!
+//! * a **compiled simulation program** ([`compiled`]): the netlist lowered
+//!   once into flat struct-of-arrays tables with reusable scratch buffers,
+//!   shared by every simulator so the per-cycle hot paths are free of hash
+//!   maps and allocations;
 //! * three-valued [`logic`] and scalar simulation ([`sim`]): levelized
 //!   combinational propagation and a cycle-accurate sequential simulator,
 //!   both with single stuck-at fault injection;
@@ -48,6 +52,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod compiled;
 pub mod constant;
 pub mod fault_sim;
 pub mod logic;
@@ -57,6 +62,7 @@ pub mod sim;
 pub mod tpg;
 
 pub use analysis::{AnalysisConfig, AnalysisOutcome, StructuralAnalysis};
+pub use compiled::{CompiledProgram, PackedInjection, PackedScratch, PackedVectors, SimScratch};
 pub use constant::{propagate_constants, ConstantValues, ConstraintSet};
 pub use fault_sim::{FaultSim, FaultSimOutcome, InputVector};
 pub use logic::Logic;

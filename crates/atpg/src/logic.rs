@@ -43,6 +43,10 @@ impl Logic {
     }
 
     /// Logical NOT.
+    ///
+    /// (Named `not` for symmetry with `and`/`or`/`xor`; the `!` operator is
+    /// deliberately not overloaded for a three-valued type.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         match self {
             Logic::Zero => Logic::One,

@@ -7,6 +7,7 @@
 //! (structurally untestable); a fault for which the backtrack limit is hit is
 //! *aborted* and stays potentially testable.
 
+use crate::compiled::SimScratch;
 use crate::constant::ConstraintSet;
 use crate::logic::Logic;
 use crate::sim::{CombSim, NetValues};
@@ -49,6 +50,10 @@ pub enum PodemOutcome {
 }
 
 /// The PODEM test generator.
+///
+/// The engine owns reusable good/faulty value buffers and a propagation
+/// scratch, so repeated [`generate`](Self::generate) calls allocate nothing
+/// on the simulation path (which is why `generate` takes `&mut self`).
 #[derive(Debug)]
 pub struct Podem<'a> {
     netlist: &'a Netlist,
@@ -58,6 +63,9 @@ pub struct Podem<'a> {
     controllable: HashSet<NetId>,
     observation_nets: Vec<NetId>,
     observation_pins: HashSet<(CellId, netlist::PinIndex)>,
+    scratch: SimScratch,
+    good_buf: NetValues,
+    faulty_buf: NetValues,
 }
 
 impl<'a> Podem<'a> {
@@ -107,6 +115,9 @@ impl<'a> Podem<'a> {
         }
         observation_nets.sort_unstable();
         observation_nets.dedup();
+        let scratch = sim.scratch();
+        let good_buf = sim.blank_values();
+        let faulty_buf = sim.blank_values();
         Ok(Podem {
             netlist,
             sim,
@@ -115,6 +126,9 @@ impl<'a> Podem<'a> {
             controllable,
             observation_nets,
             observation_pins,
+            scratch,
+            good_buf,
+            faulty_buf,
         })
     }
 
@@ -126,13 +140,19 @@ impl<'a> Podem<'a> {
         }
     }
 
-    fn simulate(&self, assignments: &HashMap<NetId, Logic>, fault: Option<StuckAt>) -> NetValues {
-        let mut values = self.sim.blank_values();
+    fn simulate_into(
+        &self,
+        assignments: &HashMap<NetId, Logic>,
+        fault: Option<StuckAt>,
+        values: &mut NetValues,
+        scratch: &mut SimScratch,
+    ) {
+        values.fill(Logic::X);
         for (&net, &v) in assignments {
             values[net.index()] = v;
         }
-        self.sim.propagate(&mut values, &self.forced, fault);
-        values
+        self.sim
+            .propagate_with(values, &self.forced, fault, scratch);
     }
 
     fn is_detected(&self, fault: StuckAt, good: &NetValues, faulty: &NetValues) -> bool {
@@ -287,12 +307,37 @@ impl<'a> Podem<'a> {
     }
 
     /// Attempts to generate a test for `fault`.
-    pub fn generate(&self, fault: StuckAt) -> PodemOutcome {
+    pub fn generate(&mut self, fault: StuckAt) -> PodemOutcome {
+        // Temporarily move the reusable buffers out of `self` so the borrow
+        // checker lets the read-only engine use them alongside `&self`.
+        let mut good = std::mem::take(&mut self.good_buf);
+        let mut faulty = std::mem::take(&mut self.faulty_buf);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let outcome = self.generate_inner(fault, &mut good, &mut faulty, &mut scratch);
+        self.good_buf = good;
+        self.faulty_buf = faulty;
+        self.scratch = scratch;
+        outcome
+    }
+
+    fn generate_inner(
+        &self,
+        fault: StuckAt,
+        good: &mut NetValues,
+        faulty: &mut NetValues,
+        scratch: &mut SimScratch,
+    ) -> PodemOutcome {
         let Some(site_net) = self.site_net(fault) else {
             // Detached output pin: nothing to excite or observe — redundant in
             // this frame.
             return PodemOutcome::Redundant;
         };
+        if good.len() != self.netlist.num_nets() {
+            *good = self.sim.blank_values();
+        }
+        if faulty.len() != self.netlist.num_nets() {
+            *faulty = self.sim.blank_values();
+        }
         let stuck = Logic::from_bool(fault.value);
         let mut assignments: HashMap<NetId, Logic> = HashMap::new();
         // Decision stack: (net, current value, tried_both).
@@ -300,10 +345,10 @@ impl<'a> Podem<'a> {
         let mut backtracks = 0usize;
 
         loop {
-            let good = self.simulate(&assignments, None);
-            let faulty = self.simulate(&assignments, Some(fault));
+            self.simulate_into(&assignments, None, good, scratch);
+            self.simulate_into(&assignments, Some(fault), faulty, scratch);
 
-            if self.is_detected(fault, &good, &faulty) {
+            if self.is_detected(fault, good, faulty) {
                 let pattern = TestPattern {
                     assignments: assignments
                         .iter()
@@ -315,7 +360,7 @@ impl<'a> Podem<'a> {
 
             let site_value = good[site_net.index()];
             let excitation_conflict = site_value.is_definite() && site_value == stuck;
-            let frontier = self.d_frontier(fault, &good, &faulty);
+            let frontier = self.d_frontier(fault, good, faulty);
             let excited = site_value.is_definite() && site_value != stuck;
             let dead_end = excitation_conflict || (excited && frontier.is_empty());
 
@@ -344,7 +389,7 @@ impl<'a> Podem<'a> {
             };
 
             let decision =
-                objective.and_then(|(net, value)| self.backtrace(net, value, &good, &assignments));
+                objective.and_then(|(net, value)| self.backtrace(net, value, good, &assignments));
 
             match decision {
                 Some((input, value)) => {
@@ -394,7 +439,7 @@ mod tests {
         b.output("y", y);
         let n = b.finish();
         let and = n.driver_of(y).unwrap();
-        let podem = engine_default(&n);
+        let mut podem = engine_default(&n);
         match podem.generate(StuckAt::output(and, false)) {
             PodemOutcome::Test(pattern) => {
                 assert_eq!(pattern.assignments.get(&a), Some(&true));
@@ -419,7 +464,7 @@ mod tests {
         b.output("y", y);
         let n = b.finish();
         let and = n.driver_of(t).unwrap();
-        let podem = engine_default(&n);
+        let mut podem = engine_default(&n);
         assert_eq!(
             podem.generate(StuckAt::output(and, false)),
             PodemOutcome::Redundant
@@ -442,7 +487,7 @@ mod tests {
         let and = n.driver_of(y).unwrap();
         let mut constraints = ConstraintSet::full_scan();
         constraints.tie_net(a, false);
-        let podem = Podem::new(&n, &constraints, PodemConfig::default()).unwrap();
+        let mut podem = Podem::new(&n, &constraints, PodemConfig::default()).unwrap();
         // With a tied to 0 the AND output can never be 1: s-a-0 has no test.
         assert_eq!(
             podem.generate(StuckAt::output(and, false)),
@@ -466,7 +511,7 @@ mod tests {
         let _q2 = b.dff(d2, ck);
         let n = b.finish();
         let inv = n.driver_of(y).unwrap();
-        let podem = engine_default(&n);
+        let mut podem = engine_default(&n);
         // The inverter sits between two flip-flops; in the full-scan frame it
         // is both controllable (via q) and observable (via the second FF's D).
         assert!(matches!(
@@ -486,7 +531,7 @@ mod tests {
         b.output("y", a);
         let n = b.finish();
         let po = n.primary_outputs()[0];
-        let podem = engine_default(&n);
+        let mut podem = engine_default(&n);
         assert!(matches!(
             podem.generate(StuckAt::input(po, 0, false)),
             PodemOutcome::Test(_)
@@ -510,7 +555,7 @@ mod tests {
             .unwrap();
         let mut constraints = ConstraintSet::full_scan();
         constraints.mask_output(dbg_po);
-        let podem = Podem::new(&n, &constraints, PodemConfig::default()).unwrap();
+        let mut podem = Podem::new(&n, &constraints, PodemConfig::default()).unwrap();
         assert_eq!(
             podem.generate(StuckAt::output(inv, false)),
             PodemOutcome::Redundant
@@ -524,7 +569,7 @@ mod tests {
         let p = b.reduce_xor(&a);
         b.output("p", p);
         let n = b.finish();
-        let podem = engine_default(&n);
+        let mut podem = engine_default(&n);
         let mut faults = faultmodel::FaultList::full_universe(&n);
         let mut tests = 0;
         let mut redundant = 0;
@@ -553,7 +598,7 @@ mod tests {
         let y = b.xor2(t2, c);
         b.output("y", y);
         let n = b.finish();
-        let podem = engine_default(&n);
+        let mut podem = engine_default(&n);
         let or = n.driver_of(t2).unwrap();
         let fault = StuckAt::output(or, false);
         let PodemOutcome::Test(pattern) = podem.generate(fault) else {

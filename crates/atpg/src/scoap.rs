@@ -88,11 +88,9 @@ pub fn compute_scoap(
                 cc1[out.index()] = 0;
                 cc0[out.index()] = SCOAP_INFINITY;
             }
-            CellKind::Dff { .. } | CellKind::Sdff { .. } => {
-                if constraints.control_ff_outputs {
-                    cc0[out.index()] = 1;
-                    cc1[out.index()] = 1;
-                }
+            CellKind::Dff { .. } | CellKind::Sdff { .. } if constraints.control_ff_outputs => {
+                cc0[out.index()] = 1;
+                cc1[out.index()] = 1;
             }
             _ => {}
         }

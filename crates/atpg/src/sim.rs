@@ -2,7 +2,8 @@
 //! cycle-accurate sequential wrapper, both with single-stuck-at fault
 //! injection.
 
-use crate::logic::{eval_cell, Logic};
+use crate::compiled::{CompiledProgram, SimScratch};
+use crate::logic::Logic;
 use faultmodel::{FaultSite, StuckAt};
 use netlist::{graph, CellId, CellKind, NetId, Netlist, Reset};
 use std::collections::HashMap;
@@ -18,26 +19,26 @@ pub type FfState = Vec<Logic>;
 ///
 /// The simulator treats flip-flop output nets as inputs (their values come
 /// from the caller-provided state) and evaluates every combinational cell in
-/// topological order. A single stuck-at fault can be injected; nets listed in
-/// `forced` keep their caller-provided value regardless of their driver.
+/// topological order over the [`CompiledProgram`]. A single stuck-at fault
+/// can be injected; nets listed in `forced` keep their caller-provided value
+/// regardless of their driver.
 #[derive(Debug)]
 pub struct CombSim<'a> {
     netlist: &'a Netlist,
-    order: Vec<CellId>,
+    program: CompiledProgram,
 }
 
 impl<'a> CombSim<'a> {
-    /// Builds the simulator (levelizes the design).
+    /// Builds the simulator (levelizes and compiles the design).
     ///
     /// # Errors
     ///
     /// Returns the combinational loop error from levelization if the design
     /// is cyclic.
     pub fn new(netlist: &'a Netlist) -> Result<Self, graph::CombinationalLoop> {
-        let lev = graph::levelize(netlist)?;
         Ok(CombSim {
             netlist,
-            order: lev.order,
+            program: CompiledProgram::compile(netlist)?,
         })
     }
 
@@ -51,76 +52,42 @@ impl<'a> CombSim<'a> {
         vec![Logic::X; self.netlist.num_nets()]
     }
 
+    /// Creates a reusable scratch for [`propagate_with`](Self::propagate_with).
+    pub fn scratch(&self) -> SimScratch {
+        self.program.sim_scratch()
+    }
+
     /// Propagates values through the combinational logic.
     ///
     /// On entry `values` must hold the desired values of primary-input nets,
     /// flip-flop output nets and any forced nets; every other net is
     /// recomputed. `forced` nets are never overwritten. `fault` optionally
     /// injects one stuck-at fault.
+    ///
+    /// Allocates a transient scratch; hot callers should hold a
+    /// [`SimScratch`] and use [`propagate_with`](Self::propagate_with).
     pub fn propagate(
         &self,
         values: &mut NetValues,
         forced: &HashMap<NetId, Logic>,
         fault: Option<StuckAt>,
     ) {
-        // Apply forced values and tie cells first.
-        for (&net, &v) in forced {
-            values[net.index()] = v;
-        }
-        for (id, cell) in self.netlist.live_cells() {
-            match cell.kind() {
-                CellKind::Tie0 | CellKind::Tie1 | CellKind::Input => {
-                    if let Some(out) = cell.output() {
-                        if !forced.contains_key(&out) {
-                            if cell.kind() == CellKind::Tie0 {
-                                values[out.index()] = Logic::Zero;
-                            } else if cell.kind() == CellKind::Tie1 {
-                                values[out.index()] = Logic::One;
-                            }
-                            // Input cells: keep the caller-provided value.
-                        }
-                    }
-                    let _ = id;
-                }
-                _ => {}
-            }
-        }
-        // Output-pin fault on a source (input / tie / flip-flop): override the
-        // driven net before propagation.
-        if let Some(f) = fault {
-            if let FaultSite::CellOutput { cell } = f.site {
-                let kind = self.netlist.cell(cell).kind();
-                if !kind.is_combinational() {
-                    if let Some(out) = self.netlist.output_net(cell) {
-                        values[out.index()] = Logic::from_bool(f.value);
-                    }
-                }
-            }
-        }
+        let mut scratch = SimScratch::default();
+        self.propagate_with(values, forced, fault, &mut scratch);
+    }
 
-        for &cell_id in &self.order {
-            let cell = self.netlist.cell(cell_id);
-            let kind = cell.kind();
-            let mut inputs: Vec<Logic> = cell.inputs().iter().map(|&n| values[n.index()]).collect();
-            if let Some(f) = fault {
-                if let FaultSite::CellInput { cell: fc, pin } = f.site {
-                    if fc == cell_id {
-                        inputs[pin as usize] = Logic::from_bool(f.value);
-                    }
-                }
-            }
-            let mut out_value = eval_cell(kind, &inputs);
-            if let Some(f) = fault {
-                if f.site == (FaultSite::CellOutput { cell: cell_id }) {
-                    out_value = Logic::from_bool(f.value);
-                }
-            }
-            if let Some(out) = cell.output() {
-                if !forced.contains_key(&out) {
-                    values[out.index()] = out_value;
-                }
-            }
-        }
+    /// [`propagate`](Self::propagate) with a caller-held scratch: the
+    /// allocation-free form used by the hot paths (PODEM, constant
+    /// propagation, repeated sequential stepping).
+    pub fn propagate_with(
+        &self,
+        values: &mut NetValues,
+        forced: &HashMap<NetId, Logic>,
+        fault: Option<StuckAt>,
+        scratch: &mut SimScratch,
+    ) {
+        self.program
+            .propagate_scalar(self.netlist, values, forced, fault, scratch);
     }
 
     /// The value observed at a primary output pseudo-cell, taking a fault on
@@ -189,13 +156,29 @@ impl<'a> SeqSim<'a> {
     /// primary-input *net*), propagates the combinational logic, computes the
     /// next state and returns the full net-value array of the cycle.
     ///
-    /// `state` is updated in place to the next state.
+    /// `state` is updated in place to the next state. Allocates a transient
+    /// scratch; multi-cycle callers should hold a [`SimScratch`] and use
+    /// [`step_with`](Self::step_with).
     pub fn step(
         &self,
         state: &mut FfState,
         pi_values: &HashMap<NetId, Logic>,
         forced: &HashMap<NetId, Logic>,
         fault: Option<StuckAt>,
+    ) -> NetValues {
+        let mut scratch = SimScratch::default();
+        self.step_with(state, pi_values, forced, fault, &mut scratch)
+    }
+
+    /// [`step`](Self::step) with a caller-held propagation scratch, for
+    /// multi-cycle runs.
+    pub fn step_with(
+        &self,
+        state: &mut FfState,
+        pi_values: &HashMap<NetId, Logic>,
+        forced: &HashMap<NetId, Logic>,
+        fault: Option<StuckAt>,
+        scratch: &mut SimScratch,
     ) -> NetValues {
         let netlist = self.comb.netlist();
         let mut values = self.comb.blank_values();
@@ -207,7 +190,8 @@ impl<'a> SeqSim<'a> {
                 values[q.index()] = state[ff.index()];
             }
         }
-        self.comb.propagate(&mut values, forced, fault);
+        self.comb
+            .propagate_with(&mut values, forced, fault, scratch);
 
         // Next-state computation.
         let mut next: Vec<(CellId, Logic)> = Vec::with_capacity(self.flops.len());
@@ -270,9 +254,10 @@ impl<'a> SeqSim<'a> {
         let outputs = netlist.primary_outputs();
         let mut state = self.uniform_state(Logic::Zero);
         let forced = HashMap::new();
+        let mut scratch = self.comb.scratch();
         let mut observed = Vec::with_capacity(vectors.len());
         for vector in vectors {
-            let values = self.step(&mut state, vector, &forced, fault);
+            let values = self.step_with(&mut state, vector, &forced, fault, &mut scratch);
             observed.push(
                 outputs
                     .iter()

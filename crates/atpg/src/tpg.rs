@@ -97,10 +97,7 @@ pub fn run_campaign(
     config: &TpgConfig,
 ) -> Result<TpgOutcome, graph::CombinationalLoop> {
     let mut outcome = TpgOutcome {
-        targeted: faults
-            .iter()
-            .filter(|&(_, c)| c == FaultClass::Undetected)
-            .count(),
+        targeted: faults.undetected().count(),
         ..TpgOutcome::default()
     };
 
@@ -118,18 +115,14 @@ pub fn run_campaign(
 
     // Phase 2: deterministic top-up with PODEM.
     if config.deterministic_topup {
-        let podem = Podem::new(
+        let mut podem = Podem::new(
             netlist,
             &config.constraints,
             PodemConfig {
                 backtrack_limit: config.backtrack_limit,
             },
         )?;
-        let remaining: Vec<_> = faults
-            .iter()
-            .filter(|&(_, c)| c == FaultClass::Undetected)
-            .map(|(f, _)| f)
-            .collect();
+        let remaining: Vec<_> = faults.undetected().map(|(_, f)| f).collect();
         for fault in remaining {
             match podem.generate(fault) {
                 PodemOutcome::Test(pattern) => {

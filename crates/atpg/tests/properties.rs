@@ -5,7 +5,7 @@
 
 use atpg::{
     analysis::StructuralAnalysis, constant::propagate_constants, CombSim, ConstraintSet, FaultSim,
-    InputVector, Logic, Podem, PodemConfig, PodemOutcome,
+    InputVector, Logic, Podem, PodemConfig, PodemOutcome, SeqSim,
 };
 use faultmodel::{collapse, FaultClass, FaultList, StuckAt};
 use netlist::{NetId, Netlist, NetlistBuilder};
@@ -36,6 +36,54 @@ fn build_circuit(spec: &[u8]) -> (Netlist, Vec<NetId>, Vec<NetId>) {
         b.output(format!("out{i}"), net);
     }
     (b.finish(), inputs, outputs)
+}
+
+/// Builds a small *sequential* circuit: gates as in [`build_circuit`], but
+/// every gate produced by a `code` divisible by 5 is registered through a D
+/// flip-flop (clocked by a dedicated input) whose output rejoins the signal
+/// pool, so fault effects must survive state capture to be observed.
+fn build_seq_circuit(spec: &[u8]) -> (Netlist, Vec<NetId>, NetId) {
+    let mut b = NetlistBuilder::new("seqprop");
+    let ck = b.input("ck");
+    let inputs: Vec<NetId> = (0..5).map(|i| b.input(format!("in{i}"))).collect();
+    let mut signals = inputs.clone();
+    for (i, &code) in spec.iter().enumerate() {
+        let a = signals[(code as usize) % signals.len()];
+        let c = signals[(code as usize / 7 + i) % signals.len()];
+        let g = match code % 6 {
+            0 => b.and2(a, c),
+            1 => b.or2(a, c),
+            2 => b.xor2(a, c),
+            3 => b.nand2(a, c),
+            4 => b.nor2(a, c),
+            _ => b.mux2(a, c, signals[(code as usize / 11) % signals.len()]),
+        };
+        let g = if code % 5 == 0 { b.dff(g, ck) } else { g };
+        signals.push(g);
+    }
+    let outputs: Vec<NetId> = signals.iter().rev().take(3).copied().collect();
+    for (i, &net) in outputs.iter().enumerate() {
+        b.output(format!("out{i}"), net);
+    }
+    (b.finish(), inputs, ck)
+}
+
+/// Scalar three-valued reference: a fault counts as detected when the good
+/// and faulty [`SeqSim`] runs disagree with definite values at any primary
+/// output in any cycle.
+fn scalar_seq_detects(
+    sim: &SeqSim<'_>,
+    good: &[Vec<Logic>],
+    vectors: &[HashMap<NetId, Logic>],
+    fault: StuckAt,
+) -> bool {
+    let faulty = sim.run(vectors, Some(fault));
+    good.iter().zip(&faulty).any(|(g_cycle, f_cycle)| {
+        g_cycle
+            .iter()
+            .zip(f_cycle)
+            .any(|(g, f)| g.is_definite() && f.is_definite() && g != f)
+    })
 }
 
 fn eval_all(netlist: &Netlist, assignment: &HashMap<NetId, Logic>) -> Vec<Logic> {
@@ -151,13 +199,56 @@ proptest! {
         let _ = outputs;
     }
 
+    /// The compiled packed fault simulator agrees fault-by-fault with the
+    /// scalar three-valued sequential reference on random netlists and
+    /// multi-cycle vector sequences (restricted to fully-specified inputs,
+    /// where three-valued and two-valued semantics coincide).
+    #[test]
+    fn compiled_packed_sim_matches_scalar_sequential_reference(
+        spec in prop::collection::vec(any::<u8>(), 4..20),
+        patterns in prop::collection::vec(0u8..32, 2..6),
+    ) {
+        let (netlist, inputs, ck) = build_seq_circuit(&spec);
+        let faults: Vec<StuckAt> = FaultList::full_universe(&netlist)
+            .faults()
+            .iter()
+            .copied()
+            .take(90)
+            .collect();
+        let vectors: Vec<InputVector> = patterns
+            .iter()
+            .map(|&p| {
+                let mut v: InputVector = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, (p >> i) & 1 == 1))
+                    .collect();
+                v.insert(ck, true);
+                v
+            })
+            .collect();
+        let logic_vectors: Vec<HashMap<NetId, Logic>> = vectors
+            .iter()
+            .map(|v| v.iter().map(|(&n, &b)| (n, Logic::from_bool(b))).collect())
+            .collect();
+        let packed_sim = FaultSim::new(&netlist).unwrap();
+        let packed = packed_sim.detect(&faults, &vectors);
+        let scalar_sim = SeqSim::new(&netlist).unwrap();
+        let good = scalar_sim.run(&logic_vectors, None);
+        for (fi, &fault) in faults.iter().enumerate() {
+            let expected = scalar_seq_detects(&scalar_sim, &good, &logic_vectors, fault);
+            prop_assert_eq!(packed[fi], expected, "fault {:?}", fault);
+        }
+    }
+
     /// Every test pattern PODEM produces is confirmed by the fault simulator.
     #[test]
     fn podem_tests_are_confirmed_by_fault_simulation(
         spec in prop::collection::vec(any::<u8>(), 4..20),
     ) {
         let (netlist, _, _) = build_circuit(&spec);
-        let podem = Podem::new(&netlist, &ConstraintSet::full_scan(), PodemConfig::default()).unwrap();
+        let mut podem =
+            Podem::new(&netlist, &ConstraintSet::full_scan(), PodemConfig::default()).unwrap();
         let sim = FaultSim::new(&netlist).unwrap();
         let faults: Vec<StuckAt> = FaultList::full_universe(&netlist)
             .faults()
@@ -271,6 +362,42 @@ proptest! {
                 faults.class_of(*fault)
             );
         }
+    }
+}
+
+#[test]
+fn chunk_boundaries_do_not_change_detection() {
+    // Fixed regression for the 63-fault packing boundary: grading 64, 126 or
+    // 127 faults (1 bit into chunk 2, chunk 2 full, 1 bit into chunk 3) must
+    // agree bit-for-bit with grading each fault alone.
+    let mut b = NetlistBuilder::new("wide");
+    let a = b.input_bus("a", 16);
+    let c = b.input_bus("b", 16);
+    let x = b.xor_word(&a, &c);
+    b.output_bus("y", &x);
+    let n = b.finish();
+    let sim = FaultSim::new(&n).unwrap();
+    let faults = FaultList::full_universe(&n).faults().to_vec();
+    assert!(faults.len() >= 127, "need at least 127 faults");
+    let vectors: Vec<InputVector> = (0..16u64)
+        .map(|p| {
+            let mut v = InputVector::new();
+            for (i, &net) in a.iter().enumerate() {
+                v.insert(net, (p >> i) & 1 == 1);
+            }
+            for (i, &net) in c.iter().enumerate() {
+                v.insert(net, (p.wrapping_mul(7) >> i) & 1 == 1);
+            }
+            v
+        })
+        .collect();
+    let reference: Vec<bool> = faults[..127]
+        .iter()
+        .map(|&f| sim.detect(&[f], &vectors)[0])
+        .collect();
+    for count in [64usize, 126, 127] {
+        let got = sim.detect(&faults[..count], &vectors);
+        assert_eq!(got, reference[..count], "fault count {count}");
     }
 }
 

@@ -6,7 +6,7 @@
 
 use atpg::FaultSim;
 use bench::small_soc;
-use cpu::sbst::{standard_suite, suite_stimuli};
+use cpu::sbst::{grade_suite, standard_suite, suite_stimuli};
 use criterion::{criterion_group, criterion_main, Criterion};
 use faultmodel::{FaultClass, StuckAt};
 use online_untestable::flow::{FlowConfig, IdentificationFlow};
@@ -32,15 +32,7 @@ fn coverage_gain(c: &mut Criterion) {
     let sim = FaultSim::new(&soc.netlist).expect("fault simulator");
     // Only the system bus is observable during the on-line test (§4).
     let bus = &soc.interface.bus_output_ports;
-    let mut detected = vec![false; sample.len()];
-    for stim in &stimuli {
-        for (d, h) in detected
-            .iter_mut()
-            .zip(sim.detect_at(&sample, &stim.vectors, bus))
-        {
-            *d |= h;
-        }
-    }
+    let detected = grade_suite(&sim, &stimuli, &sample, bus);
     let detected_count = detected.iter().filter(|&&d| d).count();
     let untestable = sample
         .iter()

@@ -83,6 +83,7 @@ pub fn analyze_toggles(
     let mut cycles = 0usize;
     let pi_nets = netlist.primary_input_nets();
     let forced = HashMap::new();
+    let mut scratch = sim.comb().scratch();
 
     for sequence in sequences {
         let mut state = sim.uniform_state(Logic::Zero);
@@ -92,7 +93,7 @@ pub fn analyze_toggles(
                 let value = vector.get(&pi).copied().unwrap_or(false);
                 assignment.insert(pi, Logic::from_bool(value));
             }
-            let values = sim.step(&mut state, &assignment, &forced, None);
+            let values = sim.step_with(&mut state, &assignment, &forced, None, &mut scratch);
             for net in netlist.net_ids() {
                 match values[net.index()] {
                     Logic::Zero => saw_zero[net.index()] = true,
@@ -157,7 +158,7 @@ mod tests {
         let seq_zero: Vec<InputVector> = vec![[(a, false)].into_iter().collect()];
         let seq_one: Vec<InputVector> = vec![[(a, true)].into_iter().collect()];
         // Each sequence alone leaves `a` constant…
-        let r = analyze_toggles(&n, &[seq_zero.clone()]).unwrap();
+        let r = analyze_toggles(&n, std::slice::from_ref(&seq_zero)).unwrap();
         assert!(!r.toggled(a));
         // …but together they toggle it.
         let r = analyze_toggles(&n, &[seq_zero, seq_one]).unwrap();

@@ -318,9 +318,12 @@ mod tests {
         (b.finish(), iface)
     }
 
+    /// Store transactions `(address, data)` observed on the bus of one run.
+    type StoreLog = Vec<(u32, u32)>;
+
     /// Runs a program on both the ISS and the gate-level core (testbench-fed
     /// memory) and compares the store transactions observed on the bus.
-    fn cosimulate(program: &[Instr], cycles: usize) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+    fn cosimulate(program: &[Instr], cycles: usize) -> (StoreLog, StoreLog) {
         // Reference run.
         let mut memory = Memory::new();
         memory.load_words(0, &Instr::assemble(program));

@@ -59,8 +59,8 @@ pub fn generate_btb(
     let mut valid_bits = Vec::with_capacity(entries);
     let mut entry_hits = Vec::with_capacity(entries);
 
-    for entry in 0..entries {
-        let write = builder.and2(update, entry_select[entry]);
+    for (entry, &select) in entry_select.iter().enumerate() {
+        let write = builder.and2(update, select);
         // Valid bit: sticky once set.
         let valid_q = {
             let d = builder.netlist_mut().add_net(format!("btb_valid_d{entry}"));
@@ -92,7 +92,7 @@ pub fn generate_btb(
 
         let tag_match = builder.eq_words(&tag_q, &tag);
         let hit = builder.and2(valid_q, tag_match);
-        let gated_hit = builder.and2(hit, entry_select[entry]);
+        let gated_hit = builder.and2(hit, select);
         entry_hits.push(gated_hit);
 
         tag_registers.push(tag_q);

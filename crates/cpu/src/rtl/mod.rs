@@ -18,7 +18,7 @@ pub fn sign_extend_16(word: &[NetId]) -> Word {
     assert_eq!(word.len(), 16, "sign_extend_16 needs a 16-bit word");
     let mut out = word.to_vec();
     let msb = word[15];
-    out.extend(std::iter::repeat(msb).take(16));
+    out.extend(std::iter::repeat_n(msb, 16));
     out
 }
 
@@ -27,7 +27,7 @@ pub fn zero_extend_16(builder: &mut NetlistBuilder, word: &[NetId]) -> Word {
     assert_eq!(word.len(), 16, "zero_extend_16 needs a 16-bit word");
     let zero = builder.tie0();
     let mut out = word.to_vec();
-    out.extend(std::iter::repeat(zero).take(16));
+    out.extend(std::iter::repeat_n(zero, 16));
     out
 }
 

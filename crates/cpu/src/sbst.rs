@@ -12,7 +12,9 @@ use crate::core_gen::CoreInterface;
 use crate::isa::Instr;
 use crate::iss::{Iss, RunTrace, StopReason};
 use crate::mem::Memory;
-use atpg::InputVector;
+use atpg::{FaultSim, InputVector};
+use faultmodel::StuckAt;
+use netlist::CellId;
 use serde::{Deserialize, Serialize};
 
 /// A named SBST test program.
@@ -54,31 +56,32 @@ fn store_sig(slot: i16, reg: u8) -> Instr {
 /// data patterns chosen to toggle both halves of the datapath, storing every
 /// result to the signature area.
 pub fn alu_test() -> SbstProgram {
-    let mut p = Vec::new();
     // Load four constants with complementary bit patterns.
-    p.push(Instr::Lui { rt: 1, imm: 0xAAAA });
-    p.push(Instr::Ori {
-        rt: 1,
-        rs: 1,
-        imm: 0x5555,
-    });
-    p.push(Instr::Lui { rt: 2, imm: 0x5555 });
-    p.push(Instr::Ori {
-        rt: 2,
-        rs: 2,
-        imm: 0xAAAA,
-    });
-    p.push(Instr::Lui { rt: 3, imm: 0xFFFF });
-    p.push(Instr::Ori {
-        rt: 3,
-        rs: 3,
-        imm: 0xFFFF,
-    });
-    p.push(Instr::Addi {
-        rt: 4,
-        rs: 0,
-        imm: 1,
-    });
+    let mut p = vec![
+        Instr::Lui { rt: 1, imm: 0xAAAA },
+        Instr::Ori {
+            rt: 1,
+            rs: 1,
+            imm: 0x5555,
+        },
+        Instr::Lui { rt: 2, imm: 0x5555 },
+        Instr::Ori {
+            rt: 2,
+            rs: 2,
+            imm: 0xAAAA,
+        },
+        Instr::Lui { rt: 3, imm: 0xFFFF },
+        Instr::Ori {
+            rt: 3,
+            rs: 3,
+            imm: 0xFFFF,
+        },
+        Instr::Addi {
+            rt: 4,
+            rs: 0,
+            imm: 1,
+        },
+    ];
     let mut slot = 0i16;
     for (rs, rt) in [(1u8, 2u8), (2, 1), (1, 3), (3, 4), (2, 4)] {
         p.push(Instr::Add { rd: 10, rs, rt });
@@ -246,8 +249,7 @@ pub fn memory_test() -> SbstProgram {
         imm: 0x600,
     });
     // Store the pattern at increasing strides, read each back, accumulate.
-    let mut slot = 0i16;
-    for stride in [0i16, 4, 8, 16, 32, 64, 128] {
+    for (slot, stride) in [0i16, 4, 8, 16, 32, 64, 128].into_iter().enumerate() {
         p.push(Instr::Sw {
             rt: 1,
             rs: 2,
@@ -268,8 +270,7 @@ pub fn memory_test() -> SbstProgram {
             rs: 1,
             imm: 0x00FF,
         });
-        p.push(store_sig(slot, 4));
-        slot += 1;
+        p.push(store_sig(slot as i16, 4));
     }
     p.push(Instr::Halt);
     SbstProgram::new("memory", p)
@@ -331,6 +332,22 @@ pub fn suite_stimuli(
         .iter()
         .map(|p| program_stimuli(p, interface, max_cycles_per_program))
         .collect()
+}
+
+/// Grades `faults` against the stimuli of a full SBST suite on the compiled
+/// packed fault simulator, observing only the given output ports (the system
+/// bus during an on-line functional test). Each program restarts the core
+/// from its reset state; faults detected by an earlier program are dropped
+/// from the later programs' simulations, which is what makes grading a
+/// mature multi-program suite cheap. Returns one detection flag per fault.
+pub fn grade_suite(
+    sim: &FaultSim<'_>,
+    stimuli: &[ProgramStimuli],
+    faults: &[StuckAt],
+    observed_outputs: &[CellId],
+) -> Vec<bool> {
+    let batches: Vec<&[InputVector]> = stimuli.iter().map(|s| s.vectors.as_slice()).collect();
+    sim.detect_batches(faults, &batches, observed_outputs)
 }
 
 /// Sanity statistics about a program's ISS execution.
@@ -431,6 +448,34 @@ mod tests {
         let stats = program_stats(&memory_test(), 500);
         assert!(stats.halted);
         assert_eq!(stats.stores, 7 + 7, "7 pattern stores + 7 signature stores");
+    }
+
+    #[test]
+    fn grade_suite_agrees_with_per_program_grading() {
+        let mut b = netlist::NetlistBuilder::new("core");
+        let iface = crate::core_gen::generate_core(&mut b, &crate::core_gen::CoreConfig::small());
+        let netlist = b.finish();
+        let sim = FaultSim::new(&netlist).unwrap();
+        let stimuli = suite_stimuli(&standard_suite(), &iface, 300);
+        let faults: Vec<StuckAt> = faultmodel::FaultList::full_universe(&netlist)
+            .faults()
+            .iter()
+            .copied()
+            .step_by(97)
+            .take(70)
+            .collect();
+        let graded = grade_suite(&sim, &stimuli, &faults, &iface.bus_output_ports);
+        // Reference: one full pass per program, OR-ed — dropping detected
+        // faults between programs must not change the outcome.
+        let mut reference = vec![false; faults.len()];
+        for stim in &stimuli {
+            let hits = sim.detect_at(&faults, &stim.vectors, &iface.bus_output_ports);
+            for (r, h) in reference.iter_mut().zip(hits) {
+                *r |= h;
+            }
+        }
+        assert_eq!(graded, reference);
+        assert!(graded.iter().any(|&d| d), "suite should detect something");
     }
 
     #[test]

@@ -166,10 +166,7 @@ pub fn collapse(netlist: &Netlist, list: &FaultList) -> CollapsedFaults {
         }
     }
 
-    let mut representative = vec![0usize; list.len()];
-    for i in 0..list.len() {
-        representative[i] = uf.find(i);
-    }
+    let representative: Vec<usize> = (0..list.len()).map(|i| uf.find(i)).collect();
     let mut reps: Vec<usize> = representative.clone();
     reps.sort_unstable();
     reps.dedup();

@@ -64,8 +64,8 @@ impl FaultList {
         let mut unique = Vec::with_capacity(faults.len());
         let mut index = HashMap::with_capacity(faults.len());
         for fault in faults {
-            if !index.contains_key(&fault) {
-                index.insert(fault, unique.len());
+            if let std::collections::hash_map::Entry::Vacant(entry) = index.entry(fault) {
+                entry.insert(unique.len());
                 unique.push(fault);
             }
         }
@@ -112,6 +112,20 @@ impl FaultList {
             .iter()
             .zip(self.classes.iter())
             .map(|(&f, &c)| (f, c))
+    }
+
+    /// Iterates over the still-[`Undetected`](FaultClass::Undetected) faults
+    /// as `(universe index, fault)` pairs — the targets a simulation campaign
+    /// grades. The index can be fed back to
+    /// [`classify_at`](Self::classify_at), so campaigns need no intermediate
+    /// `(fault, class)` collection and no per-fault hash lookup to record
+    /// detections.
+    pub fn undetected(&self) -> impl Iterator<Item = (usize, StuckAt)> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == FaultClass::Undetected)
+            .map(|(i, _)| (i, self.faults[i]))
     }
 
     /// The faults only, in universe order.
@@ -376,8 +390,8 @@ mod tests {
         let and = n.find_cell("u_and_1").unwrap();
         let site = FaultSite::CellOutput { cell: and };
         let faults = site.both_polarities();
-        assert_eq!(faults[0].value, false);
-        assert_eq!(faults[1].value, true);
+        assert!(!faults[0].value);
+        assert!(faults[1].value);
     }
 
     #[test]

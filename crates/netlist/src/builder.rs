@@ -576,7 +576,7 @@ impl NetlistBuilder {
                 continue;
             }
             let mut shifted: Word = current[shift..].to_vec();
-            shifted.extend(std::iter::repeat(zero).take(shift));
+            shifted.extend(std::iter::repeat_n(zero, shift));
             current = self.mux2_word(&current, &shifted, sel);
         }
         current

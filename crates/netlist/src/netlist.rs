@@ -302,6 +302,19 @@ impl Netlist {
         &self.cells[id.index()]
     }
 
+    /// All cells as a dense slice indexed by [`CellId::index`] (dead cells
+    /// included — check [`Cell::is_dead`]). This is the allocation-free
+    /// counterpart of [`live_cells`](Self::live_cells) for compiled engines
+    /// that index cells by their arena position.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// All nets as a dense slice indexed by [`NetId::index`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
     /// The net with the given id.
     ///
     /// # Panics

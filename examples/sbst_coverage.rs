@@ -40,9 +40,17 @@ fn main() {
     let bus = &soc.interface.bus_output_ports;
     let mut detected = vec![false; sample.len()];
     for (program, stim) in suite.iter().zip(&stimuli) {
-        let hits = sim.detect_at(&sample, &stim.vectors, bus);
-        for (d, h) in detected.iter_mut().zip(hits) {
-            *d |= h;
+        // Only the still-undetected faults are simulated against the next
+        // program, exactly as `cpu::sbst::grade_suite` does internally.
+        let (indices, targets): (Vec<usize>, Vec<StuckAt>) = sample
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !detected[i])
+            .map(|(i, &f)| (i, f))
+            .unzip();
+        let hits = sim.detect_at(&targets, &stim.vectors, bus);
+        for (i, hit) in indices.into_iter().zip(hits) {
+            detected[i] |= hit;
         }
         println!(
             "program {:<8} {:>5} cycles, cumulative detected {:>5}/{}",
