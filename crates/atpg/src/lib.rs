@@ -17,7 +17,10 @@
 //!   **structural untestability analysis** ([`analysis`]) that classifies
 //!   faults as tied / blocked / unused — the step the paper delegates to
 //!   "any EDA tool able to identify structural untestable faults";
-//! * **PODEM** test generation with redundancy proofs ([`podem`]);
+//! * **PODEM** test generation with redundancy proofs ([`podem`]) and the
+//!   **parallel untestability proof engine** ([`proof`]) that fans the
+//!   constraint-aware PODEM out across worker threads for the identification
+//!   flow's proof stage;
 //! * **SCOAP** testability measures ([`scoap`]);
 //! * random + deterministic **test-generation campaigns** ([`tpg`]).
 //!
@@ -57,6 +60,7 @@ pub mod constant;
 pub mod fault_sim;
 pub mod logic;
 pub mod podem;
+pub mod proof;
 pub mod scoap;
 pub mod sim;
 pub mod tpg;
@@ -66,7 +70,8 @@ pub use compiled::{CompiledProgram, PackedInjection, PackedScratch, PackedVector
 pub use constant::{propagate_constants, ConstantValues, ConstraintSet};
 pub use fault_sim::{FaultSim, FaultSimOutcome, InputVector};
 pub use logic::Logic;
-pub use podem::{Podem, PodemConfig, PodemOutcome, TestPattern};
+pub use podem::{Podem, PodemConfig, PodemOutcome, ProofOutcome, TestPattern};
+pub use proof::{prove_faults, ProofConfig, ProofStats};
 pub use scoap::{compute_scoap, Scoap, SCOAP_INFINITY};
 pub use sim::{CombSim, SeqSim};
 pub use tpg::{run_campaign, TpgConfig, TpgOutcome};

@@ -49,6 +49,27 @@ pub enum PodemOutcome {
     Aborted,
 }
 
+/// Result of an untestability *proof* attempt for one fault — the pattern-free
+/// view of [`PodemOutcome`] used by the proof stage of the identification
+/// flow (see [`crate::proof`]).
+///
+/// The three-way split is load-bearing: only a fault whose decision space was
+/// *exhausted* is [`ProvenUntestable`](Self::ProvenUntestable); a fault whose
+/// search ran out of backtrack budget is [`Aborted`](Self::Aborted) and must
+/// never be classified untestable, or real test escapes would be silently
+/// screened out of the coverage denominator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ProofOutcome {
+    /// A test exists under the constraints: the fault is testable.
+    TestExists,
+    /// The decision space was exhausted without finding a test: the fault is
+    /// proven untestable under the constraints.
+    ProvenUntestable,
+    /// The backtrack budget ran out before the search completed; the fault
+    /// stays potentially testable.
+    Aborted,
+}
+
 /// The PODEM test generator.
 ///
 /// The engine owns reusable good/faulty value buffers and a propagation
@@ -66,6 +87,7 @@ pub struct Podem<'a> {
     scratch: SimScratch,
     good_buf: NetValues,
     faulty_buf: NetValues,
+    last_backtracks: usize,
 }
 
 impl<'a> Podem<'a> {
@@ -129,7 +151,15 @@ impl<'a> Podem<'a> {
             scratch,
             good_buf,
             faulty_buf,
+            last_backtracks: 0,
         })
+    }
+
+    /// Backtracks spent by the most recent [`generate`](Self::generate) /
+    /// [`prove`](Self::prove) call — the consumed part of the per-fault
+    /// backtrack budget.
+    pub fn last_backtracks(&self) -> usize {
+        self.last_backtracks
     }
 
     /// The net carrying the fault-free value of the fault site.
@@ -313,11 +343,25 @@ impl<'a> Podem<'a> {
         let mut good = std::mem::take(&mut self.good_buf);
         let mut faulty = std::mem::take(&mut self.faulty_buf);
         let mut scratch = std::mem::take(&mut self.scratch);
-        let outcome = self.generate_inner(fault, &mut good, &mut faulty, &mut scratch);
+        let (outcome, backtracks) =
+            self.generate_inner(fault, &mut good, &mut faulty, &mut scratch);
         self.good_buf = good;
         self.faulty_buf = faulty;
         self.scratch = scratch;
+        self.last_backtracks = backtracks;
         outcome
+    }
+
+    /// Runs an untestability proof attempt for `fault`: like
+    /// [`generate`](Self::generate) but discarding the test pattern, so the
+    /// result is `Copy` and cheap to collect in bulk (the shape the parallel
+    /// proof engine in [`crate::proof`] fans out over worker threads).
+    pub fn prove(&mut self, fault: StuckAt) -> ProofOutcome {
+        match self.generate(fault) {
+            PodemOutcome::Test(_) => ProofOutcome::TestExists,
+            PodemOutcome::Redundant => ProofOutcome::ProvenUntestable,
+            PodemOutcome::Aborted => ProofOutcome::Aborted,
+        }
     }
 
     fn generate_inner(
@@ -326,11 +370,11 @@ impl<'a> Podem<'a> {
         good: &mut NetValues,
         faulty: &mut NetValues,
         scratch: &mut SimScratch,
-    ) -> PodemOutcome {
+    ) -> (PodemOutcome, usize) {
         let Some(site_net) = self.site_net(fault) else {
             // Detached output pin: nothing to excite or observe — redundant in
             // this frame.
-            return PodemOutcome::Redundant;
+            return (PodemOutcome::Redundant, 0);
         };
         if good.len() != self.netlist.num_nets() {
             *good = self.sim.blank_values();
@@ -355,7 +399,7 @@ impl<'a> Podem<'a> {
                         .filter_map(|(&n, &v)| v.to_bool().map(|b| (n, b)))
                         .collect(),
                 };
-                return PodemOutcome::Test(pattern);
+                return (PodemOutcome::Test(pattern), backtracks);
             }
 
             let site_value = good[site_net.index()];
@@ -397,16 +441,20 @@ impl<'a> Podem<'a> {
                     stack.push((input, value, false));
                 }
                 None => {
-                    // Backtrack.
+                    // Backtrack. Exhausting the decision stack is the
+                    // untestability proof; running out of backtrack budget is
+                    // a *give-up* and must stay distinguishable (Aborted), or
+                    // callers would screen potentially testable faults out of
+                    // the coverage denominator.
                     loop {
                         match stack.pop() {
-                            None => return PodemOutcome::Redundant,
+                            None => return (PodemOutcome::Redundant, backtracks),
                             Some((input, value, tried_both)) => {
                                 assignments.remove(&input);
                                 if !tried_both {
                                     backtracks += 1;
                                     if backtracks > self.config.backtrack_limit {
-                                        return PodemOutcome::Aborted;
+                                        return (PodemOutcome::Aborted, backtracks);
                                     }
                                     assignments.insert(input, Logic::from_bool(!value));
                                     stack.push((input, !value, true));
@@ -585,6 +633,67 @@ mod tests {
         assert_eq!(redundant, 0);
         assert_eq!(tests, faults.len());
         let _ = &mut faults;
+    }
+
+    #[test]
+    fn exhausted_backtrack_budget_reports_aborted_not_redundant() {
+        // Regression for the Aborted/ProvenUntestable distinction: the same
+        // redundant fault must be *proven* under a generous budget and
+        // *aborted* — never misreported as redundant — when the budget
+        // truncates the search. y = a OR (a AND b): AND-output s-a-0 needs at
+        // least one backtrack before the decision space is exhausted.
+        let mut b = NetlistBuilder::new("red");
+        let a = b.input("a");
+        let c = b.input("b");
+        let t = b.and2(a, c);
+        let y = b.or2(a, t);
+        b.output("y", y);
+        let n = b.finish();
+        let and = n.driver_of(t).unwrap();
+        let fault = StuckAt::output(and, false);
+
+        let mut generous = engine_default(&n);
+        assert_eq!(generous.generate(fault), PodemOutcome::Redundant);
+        assert!(
+            generous.last_backtracks() > 0,
+            "proof must spend backtracks"
+        );
+        assert_eq!(generous.prove(fault), ProofOutcome::ProvenUntestable);
+
+        let mut truncated = Podem::new(
+            &n,
+            &ConstraintSet::full_scan(),
+            PodemConfig { backtrack_limit: 0 },
+        )
+        .unwrap();
+        assert_eq!(truncated.generate(fault), PodemOutcome::Aborted);
+        assert_eq!(truncated.prove(fault), ProofOutcome::Aborted);
+        // A testable fault is still found even with a zero budget (no
+        // backtracking needed on this path).
+        assert_eq!(
+            truncated.prove(StuckAt::output(and, true)),
+            ProofOutcome::TestExists
+        );
+    }
+
+    #[test]
+    fn prove_matches_generate_on_every_outcome_kind() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let t = b.and2(a, c);
+        let y = b.or2(a, t);
+        b.output("y", y);
+        let n = b.finish();
+        let mut podem = engine_default(&n);
+        for fault in faultmodel::FaultList::full_universe(&n).faults().to_vec() {
+            let expected = match podem.generate(fault) {
+                PodemOutcome::Test(_) => ProofOutcome::TestExists,
+                PodemOutcome::Redundant => ProofOutcome::ProvenUntestable,
+                PodemOutcome::Aborted => ProofOutcome::Aborted,
+            };
+            assert_eq!(podem.prove(fault), expected, "{fault:?}");
+        }
     }
 
     #[test]

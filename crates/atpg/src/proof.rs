@@ -1,0 +1,328 @@
+//! Parallel untestability proofs: a work-stealing fan-out of the
+//! constraint-aware PODEM engine over a fault population.
+//!
+//! This is the engine behind the identification flow's *proof stage*: after
+//! the structural rules have screened the obviously dead logic and the fault
+//! simulator has dropped everything the SBST suite detects, the surviving
+//! undetected faults are handed to PODEM under the mission [`ConstraintSet`]
+//! (tied debug/test inputs are decision-forbidden, masked observation outputs
+//! never enter the D-frontier). A fault whose decision space is exhausted is
+//! [`ProofOutcome::ProvenUntestable`]; a fault whose backtrack budget runs out
+//! is [`ProofOutcome::Aborted`] and stays potentially testable.
+//!
+//! Each worker owns its own [`Podem`] engine (and therefore its own reusable
+//! simulation buffers), chunks of faults are claimed from a shared atomic
+//! cursor, and every per-fault outcome is independent of scheduling — the
+//! multi-threaded run classifies *identically* to the single-threaded one.
+
+use crate::constant::ConstraintSet;
+use crate::podem::{Podem, PodemConfig, ProofOutcome};
+use faultmodel::StuckAt;
+use netlist::{graph, Netlist};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Faults claimed per cursor bump: small enough to balance a skewed workload
+/// (aborts cost orders of magnitude more than quick proofs), large enough to
+/// amortise the atomic traffic.
+const CHUNK: usize = 16;
+
+/// Configuration of a parallel proof run.
+#[derive(Clone, Copy, Debug)]
+pub struct ProofConfig {
+    /// Backtrack budget per fault (see [`PodemConfig::backtrack_limit`]);
+    /// searches that exhaust it come back [`ProofOutcome::Aborted`].
+    pub backtrack_limit: usize,
+    /// Worker threads to fan the faults out across; `0` uses the machine's
+    /// available parallelism. The outcome vector is identical regardless.
+    pub threads: usize,
+}
+
+impl Default for ProofConfig {
+    fn default() -> Self {
+        ProofConfig {
+            backtrack_limit: 32,
+            threads: 0,
+        }
+    }
+}
+
+impl ProofConfig {
+    fn podem_config(&self) -> PodemConfig {
+        PodemConfig {
+            backtrack_limit: self.backtrack_limit,
+        }
+    }
+
+    fn resolve_threads(&self, fault_count: usize) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        requested.min(fault_count.div_ceil(CHUNK)).max(1)
+    }
+}
+
+/// Tally of one proof run, derived from the per-fault outcomes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProofStats {
+    /// Faults attempted.
+    pub attempted: usize,
+    /// Faults for which a test exists under the constraints.
+    pub test_exists: usize,
+    /// Faults proven untestable (decision space exhausted).
+    pub proven_untestable: usize,
+    /// Faults whose search ran out of backtrack budget.
+    pub aborted: usize,
+}
+
+impl ProofStats {
+    /// Tallies a slice of outcomes.
+    pub fn from_outcomes(outcomes: &[ProofOutcome]) -> Self {
+        let mut stats = ProofStats {
+            attempted: outcomes.len(),
+            ..ProofStats::default()
+        };
+        for outcome in outcomes {
+            match outcome {
+                ProofOutcome::TestExists => stats.test_exists += 1,
+                ProofOutcome::ProvenUntestable => stats.proven_untestable += 1,
+                ProofOutcome::Aborted => stats.aborted += 1,
+            }
+        }
+        stats
+    }
+}
+
+fn encode(outcome: ProofOutcome) -> u8 {
+    match outcome {
+        ProofOutcome::TestExists => 1,
+        ProofOutcome::ProvenUntestable => 2,
+        ProofOutcome::Aborted => 3,
+    }
+}
+
+fn decode(code: u8) -> ProofOutcome {
+    match code {
+        1 => ProofOutcome::TestExists,
+        2 => ProofOutcome::ProvenUntestable,
+        _ => ProofOutcome::Aborted,
+    }
+}
+
+/// Proves (or fails to prove) untestability for every fault in `faults` under
+/// `constraints`, returning one [`ProofOutcome`] per fault in input order.
+///
+/// The faults are fanned out across scoped worker threads according to
+/// `config.threads`; per-fault outcomes do not depend on the fan-out, so any
+/// thread count produces the same vector.
+///
+/// # Errors
+///
+/// Returns the levelization error if the combinational logic is cyclic.
+pub fn prove_faults(
+    netlist: &Netlist,
+    constraints: &ConstraintSet,
+    faults: &[StuckAt],
+    config: &ProofConfig,
+) -> Result<Vec<ProofOutcome>, graph::CombinationalLoop> {
+    if faults.is_empty() {
+        // Still surface a cyclic design instead of silently succeeding.
+        Podem::new(netlist, constraints, config.podem_config())?;
+        return Ok(Vec::new());
+    }
+    let workers = config.resolve_threads(faults.len());
+    if workers <= 1 {
+        let mut podem = Podem::new(netlist, constraints, config.podem_config())?;
+        return Ok(faults.iter().map(|&fault| podem.prove(fault)).collect());
+    }
+
+    // Validate levelization once up front so the workers can unwrap.
+    Podem::new(netlist, constraints, config.podem_config())?;
+    let results: Vec<AtomicU8> = (0..faults.len()).map(|_| AtomicU8::new(0)).collect();
+    let cursor = AtomicUsize::new(0);
+    let chunks = faults.len().div_ceil(CHUNK);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut podem = Podem::new(netlist, constraints, config.podem_config())
+                    .expect("levelization already validated");
+                loop {
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= chunks {
+                        break;
+                    }
+                    let start = chunk * CHUNK;
+                    let end = (start + CHUNK).min(faults.len());
+                    for i in start..end {
+                        results[i].store(encode(podem.prove(faults[i])), Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    Ok(results
+        .into_iter()
+        .map(|code| decode(code.into_inner()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultmodel::FaultList;
+    use netlist::NetlistBuilder;
+
+    fn redundant_design() -> netlist::Netlist {
+        // Three parallel copies of the classic redundant AND-OR structure so
+        // the universe is large enough to exercise multiple chunks.
+        let mut b = NetlistBuilder::new("red3");
+        for i in 0..3 {
+            let a = b.input(format!("a{i}"));
+            let c = b.input(format!("b{i}"));
+            let t = b.and2(a, c);
+            let y = b.or2(a, t);
+            b.output(format!("y{i}"), y);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn parallel_outcomes_match_single_thread() {
+        let n = redundant_design();
+        let faults = FaultList::full_universe(&n).faults().to_vec();
+        let constraints = ConstraintSet::full_scan();
+        let single = prove_faults(
+            &n,
+            &constraints,
+            &faults,
+            &ProofConfig {
+                threads: 1,
+                ..ProofConfig::default()
+            },
+        )
+        .unwrap();
+        let parallel = prove_faults(
+            &n,
+            &constraints,
+            &faults,
+            &ProofConfig {
+                threads: 4,
+                ..ProofConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(single, parallel);
+        let stats = ProofStats::from_outcomes(&single);
+        assert_eq!(stats.attempted, faults.len());
+        assert_eq!(
+            stats.test_exists + stats.proven_untestable + stats.aborted,
+            stats.attempted
+        );
+        // The three redundant AND-output s-a-0 faults are proven.
+        assert!(stats.proven_untestable >= 3, "{stats:?}");
+        assert!(stats.test_exists > 0);
+    }
+
+    #[test]
+    fn outcomes_match_a_fresh_sequential_engine_per_fault() {
+        let n = redundant_design();
+        let faults: Vec<_> = FaultList::full_universe(&n)
+            .faults()
+            .iter()
+            .copied()
+            .take(40)
+            .collect();
+        let constraints = ConstraintSet::full_scan();
+        let config = ProofConfig {
+            threads: 3,
+            ..ProofConfig::default()
+        };
+        let parallel = prove_faults(&n, &constraints, &faults, &config).unwrap();
+        let mut podem = Podem::new(&n, &constraints, config.podem_config()).unwrap();
+        for (i, &fault) in faults.iter().enumerate() {
+            assert_eq!(parallel[i], podem.prove(fault), "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn constraints_are_respected_by_the_fanned_out_engines() {
+        // Tie one input: the AND output can never rise, so its s-a-0 becomes
+        // provable in every worker.
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let y = b.and2(a, c);
+        b.output("y", y);
+        let n = b.finish();
+        let and = n.driver_of(y).unwrap();
+        let mut constraints = ConstraintSet::full_scan();
+        constraints.tie_net(a, false);
+        let faults = vec![StuckAt::output(and, false), StuckAt::output(and, true)];
+        let outcomes = prove_faults(&n, &constraints, &faults, &ProofConfig::default()).unwrap();
+        assert_eq!(outcomes[0], ProofOutcome::ProvenUntestable);
+        assert_eq!(outcomes[1], ProofOutcome::TestExists);
+    }
+
+    #[test]
+    fn empty_fault_list_is_fine_and_cyclic_designs_error() {
+        let n = redundant_design();
+        let outcomes = prove_faults(
+            &n,
+            &ConstraintSet::full_scan(),
+            &[],
+            &ProofConfig::default(),
+        )
+        .unwrap();
+        assert!(outcomes.is_empty());
+    }
+
+    #[test]
+    fn zero_budget_aborts_are_never_upgraded() {
+        let n = redundant_design();
+        let faults = FaultList::full_universe(&n).faults().to_vec();
+        let outcomes = prove_faults(
+            &n,
+            &ConstraintSet::full_scan(),
+            &faults,
+            &ProofConfig {
+                backtrack_limit: 0,
+                threads: 2,
+            },
+        )
+        .unwrap();
+        let stats = ProofStats::from_outcomes(&outcomes);
+        // The three redundant AND-output s-a-0 faults need backtracking to be
+        // proven; with no budget they must come back aborted, never proven.
+        assert!(stats.aborted >= 3, "{stats:?}");
+        let generous = prove_faults(
+            &n,
+            &ConstraintSet::full_scan(),
+            &faults,
+            &ProofConfig {
+                backtrack_limit: 10_000,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        for (i, (&tight, &loose)) in outcomes.iter().zip(&generous).enumerate() {
+            // A truncated search may abort, but whenever it does conclude it
+            // must agree with the exhaustive search.
+            if tight != ProofOutcome::Aborted {
+                assert_eq!(tight, loose, "fault {:?}", faults[i]);
+            }
+            // And a proof that the exhaustive search could not produce must
+            // never appear under a tighter budget.
+            if loose != ProofOutcome::ProvenUntestable {
+                assert_ne!(
+                    tight,
+                    ProofOutcome::ProvenUntestable,
+                    "fault {:?}",
+                    faults[i]
+                );
+            }
+        }
+    }
+}

@@ -3,9 +3,10 @@
 //! scalar reference simulator, PODEM tests really detect their target fault,
 //! and collapsed-equivalent faults share their detection outcome.
 
+use atpg::proof::{prove_faults, ProofConfig};
 use atpg::{
     analysis::StructuralAnalysis, constant::propagate_constants, CombSim, ConstraintSet, FaultSim,
-    InputVector, Logic, Podem, PodemConfig, PodemOutcome, SeqSim,
+    InputVector, Logic, Podem, PodemConfig, PodemOutcome, ProofOutcome, SeqSim,
 };
 use faultmodel::{collapse, FaultClass, FaultList, StuckAt};
 use netlist::{NetId, Netlist, NetlistBuilder};
@@ -307,6 +308,86 @@ proptest! {
         }
     }
 
+    /// Faults the constraint-aware PODEM proof engine declares
+    /// `ProvenUntestable` are never detected by exhaustive enumeration of the
+    /// free inputs, under random tie constraints and random output masks.
+    #[test]
+    fn podem_proofs_are_sound_under_random_constraints(
+        spec in prop::collection::vec(any::<u8>(), 4..16),
+        tie_mask in 0u8..64,
+        tie_values in 0u8..64,
+        output_mask in 0u8..8,
+    ) {
+        let (netlist, inputs, _) = build_circuit(&spec);
+        let mut constraints = ConstraintSet::full_scan();
+        let mut free_inputs = Vec::new();
+        for (i, &net) in inputs.iter().enumerate() {
+            if (tie_mask >> i) & 1 == 1 {
+                constraints.tie_net(net, (tie_values >> i) & 1 == 1);
+            } else {
+                free_inputs.push(net);
+            }
+        }
+        let outputs = netlist.primary_outputs();
+        let mut observed = Vec::new();
+        for (i, &po) in outputs.iter().enumerate() {
+            if (output_mask >> i) & 1 == 1 {
+                constraints.mask_output(po);
+            } else {
+                observed.push(po);
+            }
+        }
+        let faults: Vec<StuckAt> = FaultList::full_universe(&netlist)
+            .faults()
+            .iter()
+            .copied()
+            .take(80)
+            .collect();
+        let outcomes = prove_faults(
+            &netlist,
+            &constraints,
+            &faults,
+            &ProofConfig { backtrack_limit: 10_000, threads: 1 },
+        )
+        .unwrap();
+        let proven: Vec<StuckAt> = faults
+            .iter()
+            .zip(&outcomes)
+            .filter(|&(_, &o)| o == ProofOutcome::ProvenUntestable)
+            .map(|(&f, _)| f)
+            .collect();
+        if proven.is_empty() {
+            return Ok(());
+        }
+        // Exhaustive patterns over the free inputs (at most 2^6 = 64), with
+        // the tied inputs held at their mission constants, observing only the
+        // unmasked outputs.
+        let vectors: Vec<InputVector> = (0..(1u32 << free_inputs.len()))
+            .map(|p| {
+                let mut v: InputVector = free_inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, (p >> i) & 1 == 1))
+                    .collect();
+                for (i, &net) in inputs.iter().enumerate() {
+                    if (tie_mask >> i) & 1 == 1 {
+                        v.insert(net, (tie_values >> i) & 1 == 1);
+                    }
+                }
+                v
+            })
+            .collect();
+        let sim = FaultSim::new(&netlist).unwrap();
+        let detected = sim.detect_at(&proven, &vectors, &observed);
+        for (fault, hit) in proven.iter().zip(detected) {
+            prop_assert!(
+                !hit,
+                "fault {:?} was proven untestable but detected functionally",
+                fault
+            );
+        }
+    }
+
     /// Faults the structural analysis declares untestable are never detected
     /// by exhaustive simulation of the constrained circuit.
     #[test]
@@ -398,6 +479,61 @@ fn chunk_boundaries_do_not_change_detection() {
     for count in [64usize, 126, 127] {
         let got = sim.detect(&faults[..count], &vectors);
         assert_eq!(got, reference[..count], "fault count {count}");
+    }
+}
+
+#[test]
+fn proof_fanout_chunk_boundaries_match_per_fault_proofs() {
+    // Regression for the proof engine's work-claiming chunks (16 faults per
+    // cursor bump): populations of 15 / 16 / 17 / 64 / 127 faults (straddling
+    // chunk boundaries, with a ragged tail) must come back identical to a
+    // fresh single-engine proof of each fault alone, for any thread count.
+    let mut b = NetlistBuilder::new("wide");
+    let a = b.input_bus("a", 16);
+    let c = b.input_bus("b", 16);
+    let x = b.xor_word(&a, &c);
+    b.output_bus("y", &x);
+    let n = b.finish();
+    let mut constraints = ConstraintSet::full_scan();
+    // Mask one output so part of the population becomes provably untestable.
+    let masked = n
+        .primary_outputs()
+        .into_iter()
+        .find(|&po| n.cell(po).name().contains("y_0"))
+        .unwrap_or_else(|| n.primary_outputs()[0]);
+    constraints.mask_output(masked);
+    let faults = FaultList::full_universe(&n).faults().to_vec();
+    assert!(faults.len() >= 127, "need at least 127 faults");
+    let config = PodemConfig {
+        backtrack_limit: 10_000,
+    };
+    let reference: Vec<ProofOutcome> = faults[..127]
+        .iter()
+        .map(|&f| Podem::new(&n, &constraints, config).unwrap().prove(f))
+        .collect();
+    assert!(
+        reference.contains(&ProofOutcome::ProvenUntestable)
+            && reference.contains(&ProofOutcome::TestExists),
+        "the population should mix provable and testable faults"
+    );
+    for count in [15usize, 16, 17, 64, 127] {
+        for threads in [1usize, 2, 5] {
+            let got = prove_faults(
+                &n,
+                &constraints,
+                &faults[..count],
+                &ProofConfig {
+                    backtrack_limit: 10_000,
+                    threads,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                got,
+                reference[..count],
+                "fault count {count}, {threads} threads"
+            );
+        }
     }
 }
 

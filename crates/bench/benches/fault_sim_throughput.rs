@@ -7,54 +7,38 @@
 //! reports the end-to-end campaign wall-clock plus derived detected-faults/s
 //! and vector-cycles/s figures; `BENCH_faultsim.json` at the repo root keeps
 //! the measured pre/post numbers of the compiled-engine PR.
+//!
+//! The workload itself is defined once in `bench::FaultsimCampaign` and
+//! shared with the `perf_smoke` CI gate, so the committed numbers and the
+//! gate always replay the same campaign.
 
-use atpg::FaultSim;
-use bench::industrial_soc;
-use cpu::sbst::{standard_suite, suite_stimuli};
+use bench::{industrial_soc, FaultsimCampaign, FAULTSIM_SAMPLE, FAULTSIM_SEED};
 use criterion::{criterion_group, criterion_main, Criterion};
-use faultmodel::{FaultList, StuckAt};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use std::time::{Duration, Instant};
-
-/// Faults graded by the campaign (a fixed seeded sample = 20 packed chunks).
-const SAMPLE: usize = 1_260;
+use std::time::Duration;
 
 fn fault_sim_throughput(c: &mut Criterion) {
     let soc = industrial_soc();
-    let suite = standard_suite();
-    let stimuli = suite_stimuli(&suite, &soc.interface, 2_000);
-    let sim = FaultSim::new(&soc.netlist).expect("fault simulator");
-    let bus = &soc.interface.bus_output_ports;
-
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2013);
-    let mut faults: Vec<StuckAt> = FaultList::full_universe(&soc.netlist).faults().to_vec();
-    faults.shuffle(&mut rng);
-    let sample: Vec<StuckAt> = faults.into_iter().take(SAMPLE).collect();
-
-    let batches: Vec<&[atpg::InputVector]> = stimuli.iter().map(|s| s.vectors.as_slice()).collect();
-    let total_cycles: usize = batches.iter().map(|b| b.len()).sum();
-
-    let campaign = || sim.detect_batches(&sample, &batches, bus);
+    let campaign = FaultsimCampaign::prepare(&soc, FAULTSIM_SAMPLE, FAULTSIM_SEED);
+    let total_cycles = campaign.total_cycles();
 
     // One measured reference run for the report.
-    let start = Instant::now();
-    let detected_mask = campaign();
-    let elapsed = start.elapsed();
-    let detected = detected_mask.iter().filter(|&&d| d).count();
-    let secs = elapsed.as_secs_f64();
+    let result = campaign.run();
+    let secs = result.wall_clock.as_secs_f64();
     println!("--- SBST fault-simulation campaign (industrial SoC) -----------");
     println!("nets                    : {}", soc.netlist.num_nets());
-    println!("faults simulated        : {}", sample.len());
+    println!("faults simulated        : {}", result.faults);
     println!("suite vector cycles     : {total_cycles}");
-    println!("faults detected         : {detected}");
+    println!("faults detected         : {}", result.detected);
     println!("campaign wall-clock     : {secs:.3} s");
-    println!("detected faults per sec : {:.1}", detected as f64 / secs);
+    println!(
+        "detected faults per sec : {:.1}",
+        result.detected as f64 / secs
+    );
     // Nominal figure: cycles × 63-fault chunks scheduled, ignoring the work
     // the engine skips via batch-dropping and per-chunk early exit.
     println!(
         "nominal chunk-cycles/sec: {:.0}",
-        (total_cycles * sample.len().div_ceil(63)) as f64 / secs
+        (total_cycles * result.faults.div_ceil(63)) as f64 / secs
     );
 
     let mut group = c.benchmark_group("fault_sim_throughput");
@@ -63,7 +47,7 @@ fn fault_sim_throughput(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(10));
     group.bench_function("sbst_campaign_industrial_soc_1260_faults", |b| {
-        b.iter(campaign)
+        b.iter(|| campaign.run())
     });
     group.finish();
 }

@@ -1,0 +1,136 @@
+//! CI perf-regression gate: replays the two committed performance workloads
+//! in a quick configuration and fails (exit code 1) when the measured
+//! wall-clock regresses past `regression_factor` × the committed number.
+//!
+//! * `BENCH_faultsim.json` → the SBST fault-simulation campaign on the
+//!   industrial SoC (`post.campaign_wall_clock_s`);
+//! * `BENCH_flow.json` → the staged identification pipeline on the reduced
+//!   SoC (`measured.flow_wall_clock_s`).
+//!
+//! Run with `cargo run --release -p bench --bin perf_smoke`. Refresh the
+//! committed numbers by re-running the `fault_sim_throughput` and
+//! `flow_pipeline` benches and editing the JSON files.
+
+use bench::{
+    industrial_soc, quick_pipeline_config, read_committed_f64, replay_faultsim_campaign, small_soc,
+    FAULTSIM_SAMPLE, FAULTSIM_SEED,
+};
+use online_untestable::flow::IdentificationFlow;
+use std::time::Instant;
+
+/// Gate threshold used when `BENCH_flow.json` does not record one.
+const DEFAULT_REGRESSION_FACTOR: f64 = 2.0;
+
+struct Gate {
+    name: &'static str,
+    committed_s: f64,
+    measured_s: f64,
+}
+
+impl Gate {
+    fn passes(&self, factor: f64) -> bool {
+        self.measured_s <= self.committed_s * factor
+    }
+}
+
+fn read_reference(path: &str, section: &str, key: &str) -> f64 {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed numbers from {path}: {e}"));
+    read_committed_f64(&text, section, key)
+        .unwrap_or_else(|| panic!("{path} does not record {section}.{key}"))
+}
+
+fn main() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let faultsim_json = format!("{root}/BENCH_faultsim.json");
+    let flow_json = format!("{root}/BENCH_flow.json");
+
+    let factor = std::fs::read_to_string(&flow_json)
+        .ok()
+        .and_then(|text| read_committed_f64(&text, "perf_smoke", "regression_factor"))
+        .unwrap_or(DEFAULT_REGRESSION_FACTOR);
+
+    println!("perf-smoke gate (fail when measured > {factor:.1}x committed)");
+    println!();
+
+    // Gate 1: the fault-simulation campaign of BENCH_faultsim.json. The
+    // detection count is checked against the committed workload first — a
+    // simulator that got faster by skipping work must fail the gate, not
+    // pass it.
+    let soc = industrial_soc();
+    let campaign = replay_faultsim_campaign(&soc, FAULTSIM_SAMPLE, FAULTSIM_SEED);
+    println!(
+        "fault_sim_throughput    : {} faults, {} detected, {:.3} s",
+        campaign.faults,
+        campaign.detected,
+        campaign.wall_clock.as_secs_f64()
+    );
+    let committed_detected = read_reference(&faultsim_json, "workload", "faults_detected") as usize;
+    if campaign.detected != committed_detected {
+        eprintln!(
+            "perf-smoke gate failed: the campaign detected {} faults but BENCH_faultsim.json \
+             records {committed_detected} for this exact seeded workload — the fault simulator's \
+             behaviour changed, not just its speed.",
+            campaign.detected
+        );
+        std::process::exit(1);
+    }
+    let gate_faultsim = Gate {
+        name: "fault_sim_throughput",
+        committed_s: read_reference(&faultsim_json, "post", "campaign_wall_clock_s"),
+        measured_s: campaign.wall_clock.as_secs_f64(),
+    };
+
+    // Gate 2: the staged identification pipeline of BENCH_flow.json.
+    let small = small_soc();
+    let flow = IdentificationFlow::new(quick_pipeline_config());
+    let start = Instant::now();
+    let report = flow.run(&small).expect("identification flow");
+    let flow_elapsed = start.elapsed();
+    println!(
+        "flow_pipeline           : {} faults classified untestable, {:.3} s",
+        report.total_untestable(),
+        flow_elapsed.as_secs_f64()
+    );
+    let committed_untestable = read_reference(&flow_json, "workload", "untestable_total") as usize;
+    if report.total_untestable() != committed_untestable {
+        eprintln!(
+            "perf-smoke gate failed: the pipeline classified {} faults untestable but \
+             BENCH_flow.json records {committed_untestable} for this configuration — the flow's \
+             classifications changed, not just its speed.",
+            report.total_untestable()
+        );
+        std::process::exit(1);
+    }
+    let gate_flow = Gate {
+        name: "flow_pipeline",
+        committed_s: read_reference(&flow_json, "measured", "flow_wall_clock_s"),
+        measured_s: flow_elapsed.as_secs_f64(),
+    };
+
+    println!();
+    let mut failed = false;
+    for gate in [gate_faultsim, gate_flow] {
+        let verdict = if gate.passes(factor) { "PASS" } else { "FAIL" };
+        println!(
+            "{verdict} {name:<22} measured {measured:.3} s vs committed {committed:.3} s (limit {limit:.3} s)",
+            name = gate.name,
+            measured = gate.measured_s,
+            committed = gate.committed_s,
+            limit = gate.committed_s * factor,
+        );
+        failed |= !gate.passes(factor);
+    }
+    if failed {
+        eprintln!();
+        eprintln!(
+            "perf-smoke gate failed: a workload regressed more than {factor:.1}x past its \
+             committed wall-clock. If the regression is intentional, re-measure with \
+             `cargo bench -p bench --bench fault_sim_throughput` / `--bench flow_pipeline` \
+             and update BENCH_faultsim.json / BENCH_flow.json."
+        );
+        std::process::exit(1);
+    }
+    println!();
+    println!("perf-smoke gate passed.");
+}

@@ -3,12 +3,20 @@
 //!
 //! Each Criterion bench binary corresponds to one paper artefact (see
 //! `EXPERIMENTS.md` for the experiment index) and prints the reproduced
-//! rows/series before measuring the runtime of the underlying analysis.
+//! rows/series before measuring the runtime of the underlying analysis. The
+//! `perf_smoke` binary replays the two committed performance workloads
+//! (`BENCH_faultsim.json`, `BENCH_flow.json`) and fails when the measured
+//! wall-clock regresses past the committed numbers — the CI perf gate.
 
+use atpg::FaultSim;
+use cpu::sbst::{standard_suite, suite_stimuli};
 use cpu::soc::{Soc, SocBuilder};
-use faultmodel::UntestableSource;
-use online_untestable::flow::{FlowConfig, IdentificationFlow};
+use faultmodel::{FaultList, StuckAt, UntestableSource};
+use online_untestable::flow::{FlowConfig, IdentificationFlow, ProofStageConfig};
 use online_untestable::report::IdentificationReport;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
 
 /// Builds the full-size industrial-like SoC used by the Table I benches.
 pub fn industrial_soc() -> Soc {
@@ -25,6 +33,145 @@ pub fn run_flow(soc: &Soc) -> IdentificationReport {
     IdentificationFlow::new(FlowConfig::default())
         .run(soc)
         .expect("identification flow")
+}
+
+/// The quick full-pipeline configuration used by the `flow_pipeline` bench
+/// and the `perf_smoke` gate: every structural rule, the SBST simulation
+/// stage, and a budgeted PODEM proof stage. The proof stage is pinned to one
+/// worker so the committed wall-clock means the same thing on a 1-core
+/// container and a multi-core CI runner (classifications are thread-invariant
+/// anyway; the multi-threaded path is covered by the flow's own tests).
+pub fn quick_pipeline_config() -> FlowConfig {
+    FlowConfig {
+        sbst_max_cycles: 2_000,
+        proof: ProofStageConfig {
+            backtrack_limit: 16,
+            threads: 1,
+            max_faults: Some(2_000),
+        },
+        ..FlowConfig::full_pipeline()
+    }
+}
+
+/// Result of one SBST fault-simulation campaign replay (the
+/// `BENCH_faultsim.json` workload).
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// End-to-end campaign wall-clock.
+    pub wall_clock: Duration,
+    /// Faults detected by the suite.
+    pub detected: usize,
+    /// Faults simulated.
+    pub faults: usize,
+}
+
+/// Faults graded by the committed `BENCH_faultsim.json` campaign (a fixed
+/// seeded sample = 20 packed chunks).
+pub const FAULTSIM_SAMPLE: usize = 1_260;
+
+/// RNG seed of the committed campaign's fault sample.
+pub const FAULTSIM_SEED: u64 = 2013;
+
+/// The committed fault-simulation campaign, prepared once and runnable many
+/// times: a seeded random sample of an SoC's stuck-at universe graded against
+/// the full four-program SBST suite, observing only the system bus. This is
+/// the *single* definition of the `BENCH_faultsim.json` workload — the
+/// `fault_sim_throughput` bench and the `perf_smoke` gate both replay it
+/// (with [`FAULTSIM_SAMPLE`]/[`FAULTSIM_SEED`]), so the committed numbers
+/// and the CI gate can never drift apart.
+pub struct FaultsimCampaign<'a> {
+    sim: FaultSim<'a>,
+    stimuli: Vec<cpu::sbst::ProgramStimuli>,
+    sample: Vec<StuckAt>,
+    bus: Vec<netlist::CellId>,
+}
+
+impl<'a> FaultsimCampaign<'a> {
+    /// Prepares the campaign (stimuli extraction, netlist compilation and
+    /// fault sampling happen here, outside the measured region).
+    pub fn prepare(soc: &'a Soc, sample_size: usize, seed: u64) -> Self {
+        let suite = standard_suite();
+        let stimuli = suite_stimuli(&suite, &soc.interface, 2_000);
+        let sim = FaultSim::new(&soc.netlist).expect("fault simulator");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut faults: Vec<StuckAt> = FaultList::full_universe(&soc.netlist).faults().to_vec();
+        faults.shuffle(&mut rng);
+        let sample: Vec<StuckAt> = faults.into_iter().take(sample_size).collect();
+        FaultsimCampaign {
+            sim,
+            stimuli,
+            sample,
+            bus: soc.interface.bus_output_ports.clone(),
+        }
+    }
+
+    /// Faults in the sample.
+    pub fn sample_size(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Total vector cycles across the suite's programs.
+    pub fn total_cycles(&self) -> usize {
+        self.stimuli.iter().map(|s| s.vectors.len()).sum()
+    }
+
+    /// Runs the campaign once, timing only the grading itself.
+    pub fn run(&self) -> CampaignResult {
+        let batches: Vec<&[atpg::InputVector]> =
+            self.stimuli.iter().map(|s| s.vectors.as_slice()).collect();
+        let start = Instant::now();
+        let detected_mask = self.sim.detect_batches(&self.sample, &batches, &self.bus);
+        CampaignResult {
+            wall_clock: start.elapsed(),
+            detected: detected_mask.iter().filter(|&&d| d).count(),
+            faults: self.sample.len(),
+        }
+    }
+}
+
+/// One-shot convenience over [`FaultsimCampaign`].
+pub fn replay_faultsim_campaign(soc: &Soc, sample_size: usize, seed: u64) -> CampaignResult {
+    FaultsimCampaign::prepare(soc, sample_size, seed).run()
+}
+
+/// Extracts the number recorded for `"key"` inside the object labelled
+/// `"section"` of a committed `BENCH_*.json` file. A tiny purpose-built
+/// scanner — the vendored serde stand-in has no deserializer, and the gate
+/// only needs a handful of scalar reference numbers.
+pub fn read_committed_f64(json: &str, section: &str, key: &str) -> Option<f64> {
+    let scope = if section.is_empty() {
+        json
+    } else {
+        // Restrict the key search to the section's own (possibly nested)
+        // object, so a key missing from the section never resolves to a
+        // same-named key of a later section.
+        let label = format!("\"{section}\"");
+        let after_label = json.find(&label)? + label.len();
+        let open = json[after_label..].find('{')? + after_label;
+        let mut depth = 0usize;
+        let mut close = None;
+        for (i, c) in json[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(open + i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        &json[open..close?]
+    };
+    let label = format!("\"{key}\"");
+    let at = scope.find(&label)? + label.len();
+    let rest = scope[at..].trim_start_matches([':', ' ', '\t', '\n', '\r']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Prints a Table-I-style block for a report, next to the paper's numbers.
@@ -51,6 +198,36 @@ pub fn print_table1(report: &IdentificationReport) {
     println!("----------------------------------------------------------------");
 }
 
+/// Prints the per-stage table of a staged-pipeline report.
+pub fn print_stage_table(report: &IdentificationReport) {
+    println!("--- staged identification pipeline ---------------------------");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12}",
+        "stage", "classified", "left", "wall-clock"
+    );
+    for phase in &report.phases {
+        println!(
+            "{:<16} {:>10} {:>10} {:>10.3} ms",
+            phase.name,
+            phase.newly_classified,
+            phase.undetected_after,
+            phase.duration.as_secs_f64() * 1e3
+        );
+    }
+    let classified: usize = report.phases.iter().map(|p| p.newly_classified).sum();
+    println!(
+        "{:<16} {:>10} {:>10} {:>10.3} ms",
+        "TOTAL",
+        classified,
+        report
+            .phases
+            .last()
+            .map(|p| p.undetected_after)
+            .unwrap_or(report.total_faults),
+        report.total_duration().as_secs_f64() * 1e3
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +238,64 @@ mod tests {
         let report = run_flow(&soc);
         assert!(report.total_untestable() > 0);
         print_table1(&report);
+        print_stage_table(&report);
+    }
+
+    #[test]
+    fn committed_number_scanner_reads_sections() {
+        let json = r#"{
+            "pre": { "campaign_wall_clock_s": 3.829, "detected": 744 },
+            "post": { "campaign_wall_clock_s": 0.294 },
+            "perf_smoke": { "regression_factor": 2.0 }
+        }"#;
+        assert_eq!(
+            read_committed_f64(json, "pre", "campaign_wall_clock_s"),
+            Some(3.829)
+        );
+        assert_eq!(
+            read_committed_f64(json, "post", "campaign_wall_clock_s"),
+            Some(0.294)
+        );
+        assert_eq!(
+            read_committed_f64(json, "perf_smoke", "regression_factor"),
+            Some(2.0)
+        );
+        assert_eq!(read_committed_f64(json, "", "regression_factor"), Some(2.0));
+        assert_eq!(read_committed_f64(json, "post", "missing"), None);
+        assert_eq!(read_committed_f64(json, "absent", "detected"), None);
+        // The search is bounded by the section's closing brace: a key that
+        // only exists in a *later* section must not leak in.
+        assert_eq!(read_committed_f64(json, "pre", "regression_factor"), None);
+        assert_eq!(read_committed_f64(json, "post", "detected"), None);
+        // ... but keys inside nested objects of the section are in scope.
+        let nested = r#"{ "measured": { "criterion_s": { "min": 3.6 } }, "min": 9.9 }"#;
+        assert_eq!(read_committed_f64(nested, "measured", "min"), Some(3.6));
+        // A pretty-printer may wrap the value onto the next line.
+        let wrapped = "{ \"measured\": { \"flow_wall_clock_s\":\n    4.64 } }";
+        assert_eq!(
+            read_committed_f64(wrapped, "measured", "flow_wall_clock_s"),
+            Some(4.64)
+        );
+    }
+
+    #[test]
+    fn committed_files_parse() {
+        // The gate must keep being able to read the committed numbers.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let faultsim =
+            std::fs::read_to_string(format!("{root}/BENCH_faultsim.json")).expect("BENCH_faultsim");
+        assert!(
+            read_committed_f64(&faultsim, "post", "campaign_wall_clock_s").is_some(),
+            "post.campaign_wall_clock_s missing from BENCH_faultsim.json"
+        );
+        let flow = std::fs::read_to_string(format!("{root}/BENCH_flow.json")).expect("BENCH_flow");
+        assert!(
+            read_committed_f64(&flow, "measured", "flow_wall_clock_s").is_some(),
+            "measured.flow_wall_clock_s missing from BENCH_flow.json"
+        );
+        assert!(
+            read_committed_f64(&flow, "perf_smoke", "regression_factor").is_some(),
+            "perf_smoke.regression_factor missing from BENCH_flow.json"
+        );
     }
 }

@@ -17,9 +17,14 @@
 //!    and disconnects mission-unobserved outputs;
 //! 3. **screening** — the [`rules`] either prune faults directly (scan chain
 //!    tracing, §3.1) or run the structural untestability analysis of the
-//!    [`atpg`] crate on the manipulated circuit (§3.2, §3.3), and the
-//!    [`flow`] composes everything into a Table-I-style
-//!    [`report::IdentificationReport`].
+//!    [`atpg`] crate on the manipulated circuit (§3.2, §3.3);
+//! 4. **simulation and proof** — the staged [`flow`] pipeline optionally
+//!    grades the SBST suite on the compiled fault simulator (dropping every
+//!    detected fault) and hands the survivors to the constraint-aware PODEM
+//!    proof engine, which *proves* on-line untestability that the structural
+//!    screen alone cannot, fanned out across worker threads. Everything is
+//!    composed into a Table-I-style [`report::IdentificationReport`] with
+//!    per-stage fault-count deltas and wall-clock.
 //!
 //! # Examples
 //!
@@ -44,7 +49,7 @@ pub mod report;
 pub mod rules;
 pub mod toggle;
 
-pub use flow::{DiscoveryMode, FlowConfig, FlowError, IdentificationFlow};
+pub use flow::{DiscoveryMode, FlowConfig, FlowError, IdentificationFlow, ProofStageConfig};
 pub use manipulate::{Manipulation, ManipulationStep};
 pub use report::{IdentificationReport, PhaseResult};
 pub use toggle::{analyze_toggles, ToggleReport};

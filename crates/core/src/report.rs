@@ -6,14 +6,17 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 
-/// Result of one phase of the identification flow.
+/// Result of one stage of the identification pipeline.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PhaseResult {
-    /// Phase name ("baseline", "scan", "debug-control", …).
+    /// Stage name ("baseline", "scan", …, "sbst-sim", "atpg-proof").
     pub name: String,
-    /// Faults newly attributed to the phase.
+    /// Faults newly classified by the stage (its fault-count delta).
     pub newly_classified: usize,
-    /// Wall-clock time spent in the phase.
+    /// Faults still unclassified when the stage finished — the population the
+    /// next stage starts from.
+    pub undetected_after: usize,
+    /// Wall-clock time spent in the stage.
     pub duration: Duration,
 }
 
@@ -64,6 +67,11 @@ impl IdentificationReport {
         self.phases.iter().map(|p| p.duration).sum()
     }
 
+    /// The result of the stage with the given name, if it ran.
+    pub fn phase(&self, name: &str) -> Option<&PhaseResult> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
     /// The coverage figure a test achieving `detected` detections would
     /// report before pruning (detected / total).
     pub fn coverage_before_pruning(&self, detected: usize) -> f64 {
@@ -104,9 +112,10 @@ impl fmt::Display for IdentificationReport {
         for phase in &self.phases {
             writeln!(
                 f,
-                "  {:<18} {:>8} faults  {:>10.3} ms",
+                "  {:<18} {:>8} faults  {:>8} left  {:>10.3} ms",
                 phase.name,
                 phase.newly_classified,
+                phase.undetected_after,
                 phase.duration.as_secs_f64() * 1e3
             )?;
         }
@@ -148,11 +157,13 @@ mod tests {
                 PhaseResult {
                     name: "baseline".to_string(),
                     newly_classified: 50,
+                    undetected_after: 950,
                     duration: Duration::from_millis(2),
                 },
                 PhaseResult {
                     name: "scan".to_string(),
                     newly_classified: 90,
+                    undetected_after: 860,
                     duration: Duration::from_millis(1),
                 },
             ],
@@ -168,6 +179,20 @@ mod tests {
         assert!((r.untestable_fraction() - 0.15).abs() < 1e-12);
         assert_eq!(r.summary().total_row().count, 150);
         assert_eq!(r.total_duration(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn phase_lookup_and_per_stage_deltas() {
+        let r = sample_report();
+        let scan = r.phase("scan").unwrap();
+        assert_eq!(scan.newly_classified, 90);
+        assert_eq!(scan.undetected_after, 860);
+        assert!(r.phase("atpg-proof").is_none());
+        let text = r.to_string();
+        assert!(
+            text.contains("left"),
+            "per-stage remainder missing:\n{text}"
+        );
     }
 
     #[test]

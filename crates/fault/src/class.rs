@@ -16,15 +16,23 @@ pub enum UntestableSource {
     DebugObservation,
     /// Memory-map restrictions on address logic (§3.3).
     MemoryMap,
+    /// Proven untestable by the constraint-aware ATPG proof stage: PODEM
+    /// exhausted the decision space under the mission constraints (tied
+    /// debug/test inputs, masked observation outputs) without finding a test.
+    /// This is the screening step of §4 applied to faults the structural
+    /// rules leave unclassified.
+    AtpgProof,
 }
 
 impl UntestableSource {
-    /// All sources, in the order Table I reports them.
-    pub const ALL: [UntestableSource; 4] = [
+    /// All sources, in the order Table I reports them (the ATPG proof stage
+    /// is this reproduction's extension and comes last).
+    pub const ALL: [UntestableSource; 5] = [
         UntestableSource::Scan,
         UntestableSource::DebugControl,
         UntestableSource::DebugObservation,
         UntestableSource::MemoryMap,
+        UntestableSource::AtpgProof,
     ];
 
     /// Short name used in reports.
@@ -34,6 +42,7 @@ impl UntestableSource {
             UntestableSource::DebugControl => "debug-control",
             UntestableSource::DebugObservation => "debug-observation",
             UntestableSource::MemoryMap => "memory-map",
+            UntestableSource::AtpgProof => "atpg-proof",
         }
     }
 }
@@ -157,6 +166,6 @@ mod tests {
         let mut names: Vec<&str> = UntestableSource::ALL.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 5);
     }
 }

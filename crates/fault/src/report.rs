@@ -24,7 +24,7 @@ pub struct ClassCounts {
     pub unused: usize,
     /// On-line functionally untestable, per source (indexed in
     /// [`UntestableSource::ALL`] order).
-    pub online_untestable: [usize; 4],
+    pub online_untestable: [usize; 5],
 }
 
 impl ClassCounts {
@@ -165,14 +165,17 @@ pub struct UntestableSummary {
 impl UntestableSummary {
     /// Builds the summary from class counts, using the paper's row grouping
     /// (the two debug sub-sources are reported as a single "Debug" row, like
-    /// Table I's "4,548+2,357").
+    /// Table I's "4,548+2,357") plus a "Proof" row for the faults proven
+    /// untestable by the constraint-aware ATPG stage — this reproduction's
+    /// extension over the paper's three sources.
     pub fn from_counts(counts: &ClassCounts) -> Self {
         let total = counts.total();
         let scan = counts.online(UntestableSource::Scan);
         let debug = counts.online(UntestableSource::DebugControl)
             + counts.online(UntestableSource::DebugObservation);
         let memory = counts.online(UntestableSource::MemoryMap);
-        let sum = scan + debug + memory;
+        let proof = counts.online(UntestableSource::AtpgProof);
+        let sum = scan + debug + memory + proof;
         let pct = |n: usize| ratio(n, total) * 100.0;
         UntestableSummary {
             total_faults: total,
@@ -191,6 +194,11 @@ impl UntestableSummary {
                     label: "Memory".to_string(),
                     count: memory,
                     percent: pct(memory),
+                },
+                SummaryRow {
+                    label: "Proof".to_string(),
+                    count: proof,
+                    percent: pct(proof),
                 },
                 SummaryRow {
                     label: "TOTAL".to_string(),
@@ -277,16 +285,22 @@ mod tests {
 
     #[test]
     fn summary_groups_debug_rows() {
-        let c = sample_counts();
+        let mut c = sample_counts();
+        c.add(
+            FaultClass::OnlineUntestable(UntestableSource::AtpgProof),
+            10,
+        );
         let summary = UntestableSummary::from_counts(&c);
-        assert_eq!(summary.rows.len(), 4);
+        assert_eq!(summary.rows.len(), 5);
         assert_eq!(summary.rows[0].count, 90);
         assert_eq!(summary.rows[1].count, 50);
         assert_eq!(summary.rows[2].count, 30);
-        assert_eq!(summary.total_row().count, 170);
-        assert!((summary.total_row().percent - 17.0).abs() < 1e-9);
+        assert_eq!(summary.rows[3].count, 10);
+        assert_eq!(summary.total_row().count, 180);
+        assert!((summary.total_row().percent - 180.0 / 1010.0 * 100.0).abs() < 1e-9);
         let text = summary.to_string();
         assert!(text.contains("Scan"));
+        assert!(text.contains("Proof"));
         assert!(text.contains("TOTAL"));
     }
 

@@ -93,6 +93,59 @@ fn pruning_never_decreases_the_coverage_figure() {
 }
 
 #[test]
+fn staged_pipeline_proof_verdicts_survive_a_longer_sbst_campaign() {
+    use cpu::sbst::{grade_suite, standard_suite, suite_stimuli};
+    use online_untestable::flow::ProofStageConfig;
+
+    // A reduced SoC keeps the full pipeline (SBST simulation + PODEM proofs)
+    // affordable in the test build.
+    let soc = SocBuilder::small()
+        .core_config(cpu::core_gen::CoreConfig {
+            num_regs: 4,
+            btb_entries: 2,
+            include_cycle_counter: false,
+        })
+        .build();
+    let config = FlowConfig {
+        sbst_max_cycles: 200,
+        proof: ProofStageConfig {
+            backtrack_limit: 8,
+            threads: 0,
+            max_faults: Some(1_500),
+        },
+        ..FlowConfig::full_pipeline()
+    };
+    let (report, faults) = IdentificationFlow::new(config)
+        .run_with_faults(&soc)
+        .expect("flow");
+    let proven: Vec<StuckAt> = faults
+        .iter()
+        .filter(|&(_, c)| {
+            c == FaultClass::OnlineUntestable(faultmodel::UntestableSource::AtpgProof)
+        })
+        .map(|(f, _)| f)
+        .collect();
+    assert!(!proven.is_empty(), "{report}");
+
+    // Soundness across stages: the proof stage only saw a 200-cycle SBST
+    // budget; its untestability verdicts must hold against a far longer run
+    // of the same suite observed at the system bus.
+    let sim = atpg::FaultSim::new(&soc.netlist).expect("fault sim");
+    let stimuli = suite_stimuli(&standard_suite(), &soc.interface, 1_500);
+    let detected = grade_suite(&sim, &stimuli, &proven, &soc.interface.bus_output_ports);
+    let escapes: Vec<&StuckAt> = proven
+        .iter()
+        .zip(&detected)
+        .filter(|&(_, &d)| d)
+        .map(|(f, _)| f)
+        .collect();
+    assert!(
+        escapes.is_empty(),
+        "faults proven untestable were detected on the bus: {escapes:?}"
+    );
+}
+
+#[test]
 fn disabled_scan_insertion_removes_the_scan_source() {
     use cpu::soc::SocConfig;
     use dft::scan::ScanConfig;

@@ -19,12 +19,20 @@ fn run_small() -> (
 #[test]
 fn every_untestability_source_of_section_3_is_present() {
     let (_, report) = run_small();
-    for source in UntestableSource::ALL {
+    // §3 defines four sources; the ATPG proof bucket is this reproduction's
+    // extension and only fills when the proof stage is enabled.
+    for source in [
+        UntestableSource::Scan,
+        UntestableSource::DebugControl,
+        UntestableSource::DebugObservation,
+        UntestableSource::MemoryMap,
+    ] {
         assert!(
             report.count_for(source) > 0,
             "source {source} found no faults:\n{report}"
         );
     }
+    assert_eq!(report.count_for(UntestableSource::AtpgProof), 0);
 }
 
 #[test]
