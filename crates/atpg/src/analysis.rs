@@ -228,6 +228,7 @@ impl StructuralAnalysis {
                 &self.config.constraints,
                 PodemConfig {
                     backtrack_limit: self.config.podem_backtrack_limit,
+                    ..PodemConfig::default()
                 },
             )?;
             for fault in podem_candidates {

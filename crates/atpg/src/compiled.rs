@@ -211,6 +211,19 @@ impl CompiledProgram {
         self.op.len()
     }
 
+    /// Dense map from cell arena index to compiled gate-program index
+    /// ([`NO_INDEX`] for cells that did not compile to a gate: ports, ties,
+    /// flip-flops, dead cells and detached gates). Gate-program indices are
+    /// topological, so a sorted subset of them is a valid evaluation order —
+    /// the property cone-clipped propagation relies on.
+    pub fn gate_index_by_cell(&self) -> Vec<u32> {
+        let mut map = vec![NO_INDEX; self.cell_pin_start.len()];
+        for (g, &cell) in self.gate_cell.iter().enumerate() {
+            map[cell as usize] = g as u32;
+        }
+        map
+    }
+
     /// The flat pin slot of input pin `pin` of `cell`, or `None` when the
     /// cell is dead, has no compiled pins, or the pin index is out of range.
     fn pin_slot(&self, netlist: &Netlist, cell: CellId, pin: PinIndex) -> Option<usize> {
@@ -442,61 +455,18 @@ impl CompiledProgram {
         }
 
         // Decompose the fault once for the gate loop.
-        let (fault_cell, fault_pin, fault_value, fault_on_output) = match fault {
-            Some(f) => match f.site {
-                FaultSite::CellOutput { cell } => (
-                    cell.index() as u32,
-                    NO_INDEX,
-                    Logic::from_bool(f.value),
-                    true,
-                ),
-                FaultSite::CellInput { cell, pin } => (
-                    cell.index() as u32,
-                    u32::from(pin),
-                    Logic::from_bool(f.value),
-                    false,
-                ),
-            },
-            None => (NO_INDEX, NO_INDEX, Logic::X, false),
-        };
+        let (fault_cell, fault_pin, fault_value, fault_on_output) = decompose_fault(fault);
 
         for g in 0..self.op.len() {
-            let start = self.in_start[g] as usize;
-            let len = self.in_len[g] as usize;
-            let cell = self.gate_cell[g];
-            let faulty_pin = if cell == fault_cell && !fault_on_output {
-                fault_pin
-            } else {
-                NO_INDEX
-            };
-            let mut out_value = {
-                let values = &*values;
-                let read = |k: usize| -> Logic {
-                    if k as u32 == faulty_pin {
-                        fault_value
-                    } else {
-                        values[self.pins[start + k] as usize]
-                    }
-                };
-                match self.op[g] {
-                    Op::Buf => read(0),
-                    Op::Not => read(0).not(),
-                    Op::And => (0..len).fold(Logic::One, |acc, k| acc.and(read(k))),
-                    Op::Nand => (0..len).fold(Logic::One, |acc, k| acc.and(read(k))).not(),
-                    Op::Or => (0..len).fold(Logic::Zero, |acc, k| acc.or(read(k))),
-                    Op::Nor => (0..len).fold(Logic::Zero, |acc, k| acc.or(read(k))).not(),
-                    Op::Xor => (0..len).fold(Logic::Zero, |acc, k| acc.xor(read(k))),
-                    Op::Xnor => (0..len).fold(Logic::Zero, |acc, k| acc.xor(read(k))).not(),
-                    Op::Mux2 => Logic::mux(read(0), read(1), read(2)),
-                }
-            };
-            if fault_on_output && cell == fault_cell {
-                out_value = fault_value;
-            }
-            let out = self.out[g] as usize;
-            if !scratch.forced[out] {
-                values[out] = out_value;
-            }
+            self.eval_gate(
+                g,
+                values,
+                &scratch.forced,
+                fault_cell,
+                fault_pin,
+                fault_value,
+                fault_on_output,
+            );
         }
 
         // Clear the forced marks for the next call.
@@ -504,6 +474,152 @@ impl CompiledProgram {
             scratch.forced[n as usize] = false;
         }
         scratch.touched.clear();
+    }
+
+    /// Cone-clipped three-valued propagation: like
+    /// [`propagate_scalar`](Self::propagate_scalar) but evaluating only the
+    /// gates in `gates` — ascending gate-program indices, i.e. a
+    /// topologically consistent subset such as a fault's fanout cone — with
+    /// the constraint environment pre-lowered by the caller into
+    /// `forced_mask`, the dense never-overwrite bitmap of forced nets.
+    ///
+    /// `values` must already hold the values of every net the clipped gates
+    /// read (a cone-clipped caller syncs them from its good machine); nets
+    /// outside the cone are left untouched.
+    pub fn propagate_scalar_clipped(
+        &self,
+        netlist: &Netlist,
+        values: &mut [Logic],
+        forced_mask: &[bool],
+        fault: Option<StuckAt>,
+        gates: &[u32],
+    ) {
+        debug_assert_eq!(values.len(), self.num_nets);
+        debug_assert!(gates.windows(2).all(|w| w[0] < w[1]));
+
+        // Output-pin fault on a source (input / tie / flip-flop): override
+        // the driven net before propagation.
+        if let Some(f) = fault {
+            if let FaultSite::CellOutput { cell } = f.site {
+                if !netlist.cell(cell).kind().is_combinational() {
+                    if let Some(out) = netlist.output_net(cell) {
+                        values[out.index()] = Logic::from_bool(f.value);
+                    }
+                }
+            }
+        }
+
+        let (fault_cell, fault_pin, fault_value, fault_on_output) = decompose_fault(fault);
+        for &g in gates {
+            self.eval_gate(
+                g as usize,
+                values,
+                forced_mask,
+                fault_cell,
+                fault_pin,
+                fault_value,
+                fault_on_output,
+            );
+        }
+    }
+
+    /// Evaluates the logic function of compiled gate `g` over a caller
+    /// supplied pin-read closure — the shared core of every scalar gate
+    /// evaluation path.
+    #[inline(always)]
+    fn compute_gate(&self, g: usize, read: impl Fn(usize) -> Logic) -> Logic {
+        let len = self.in_len[g] as usize;
+        match self.op[g] {
+            Op::Buf => read(0),
+            Op::Not => read(0).not(),
+            Op::And => (0..len).fold(Logic::One, |acc, k| acc.and(read(k))),
+            Op::Nand => (0..len).fold(Logic::One, |acc, k| acc.and(read(k))).not(),
+            Op::Or => (0..len).fold(Logic::Zero, |acc, k| acc.or(read(k))),
+            Op::Nor => (0..len).fold(Logic::Zero, |acc, k| acc.or(read(k))).not(),
+            Op::Xor => (0..len).fold(Logic::Zero, |acc, k| acc.xor(read(k))),
+            Op::Xnor => (0..len).fold(Logic::Zero, |acc, k| acc.xor(read(k))).not(),
+            Op::Mux2 => Logic::mux(read(0), read(1), read(2)),
+        }
+    }
+
+    /// Fault-free evaluation of compiled gate `g` over `values`, without
+    /// writing the result — the inner step of event-driven incremental
+    /// good-machine updates (cone-clipped PODEM re-evaluates only the gates
+    /// downstream of a changed assignment).
+    #[inline]
+    pub fn eval_gate_scalar(&self, g: usize, values: &[Logic]) -> Logic {
+        let start = self.in_start[g] as usize;
+        self.compute_gate(g, |k| values[self.pins[start + k] as usize])
+    }
+
+    /// The output-net index of compiled gate `g`.
+    #[inline]
+    pub fn gate_output(&self, g: usize) -> u32 {
+        self.out[g]
+    }
+
+    /// Evaluates one compiled gate into `values`, honouring an injected
+    /// stuck-at fault and the forced-net bitmap — the shared inner step of
+    /// the full and cone-clipped scalar propagations.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn eval_gate(
+        &self,
+        g: usize,
+        values: &mut [Logic],
+        forced: &[bool],
+        fault_cell: u32,
+        fault_pin: u32,
+        fault_value: Logic,
+        fault_on_output: bool,
+    ) {
+        let start = self.in_start[g] as usize;
+        let cell = self.gate_cell[g];
+        let faulty_pin = if cell == fault_cell && !fault_on_output {
+            fault_pin
+        } else {
+            NO_INDEX
+        };
+        let mut out_value = {
+            let values = &*values;
+            self.compute_gate(g, |k| {
+                if k as u32 == faulty_pin {
+                    fault_value
+                } else {
+                    values[self.pins[start + k] as usize]
+                }
+            })
+        };
+        if fault_on_output && cell == fault_cell {
+            out_value = fault_value;
+        }
+        let out = self.out[g] as usize;
+        if !forced[out] {
+            values[out] = out_value;
+        }
+    }
+}
+
+/// Lowers an optional stuck-at fault into the dense fields the gate loops
+/// branch on: `(cell arena index, pin index, stuck value, is-output-fault)`.
+#[inline]
+fn decompose_fault(fault: Option<StuckAt>) -> (u32, u32, Logic, bool) {
+    match fault {
+        Some(f) => match f.site {
+            FaultSite::CellOutput { cell } => (
+                cell.index() as u32,
+                NO_INDEX,
+                Logic::from_bool(f.value),
+                true,
+            ),
+            FaultSite::CellInput { cell, pin } => (
+                cell.index() as u32,
+                u32::from(pin),
+                Logic::from_bool(f.value),
+                false,
+            ),
+        },
+        None => (NO_INDEX, NO_INDEX, Logic::X, false),
     }
 }
 

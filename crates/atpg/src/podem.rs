@@ -6,10 +6,38 @@
 //! which the decision space is exhausted without finding a test is *redundant*
 //! (structurally untestable); a fault for which the backtrack limit is hit is
 //! *aborted* and stays potentially testable.
+//!
+//! Three classical accelerations are built in:
+//!
+//! * **Cone clipping** ([`PodemConfig::cone_clip`]): per fault the engine
+//!   extracts the site's fanout cone ([`netlist::graph::ConeExtractor`]) —
+//!   the only region where the faulty machine can differ from the good one —
+//!   and runs faulty simulation, D-frontier scanning and detection over that
+//!   usually tiny set, while the good machine is maintained *incrementally*:
+//!   each decision re-evaluates only the gates its assignment actually
+//!   reaches (event-driven, in topological order), and retraction restores
+//!   the baseline for the next fault. Clipping changes no decision: the
+//!   clipped engine's outcomes and backtrack counts are bit-identical to the
+//!   full engine's.
+//! * **SCOAP guidance** ([`PodemConfig::scoap_guidance`]): constraint-aware
+//!   CC0/CC1/CO measures ([`crate::scoap`]) steer objective selection toward
+//!   the most observable D-frontier gate and steer backtrace toward cheap
+//!   controlling assignments (easiest-first for "any input suffices",
+//!   hardest-first for "all inputs required"), pruning backtracks. Guidance
+//!   reorders the search, so concluded verdicts are unchanged but a
+//!   budget-truncated search may abort on different faults.
+//! * **The X-path check** ([`PodemConfig::x_path_check`]): when no frontier
+//!   gate can still reach
+//!   an observation point through undecided nets, the search backtracks
+//!   immediately — three-valued simulation is monotone, so such a branch can
+//!   never produce a test. Under mission constraints (masked observation
+//!   points, forced side inputs) this turns a large share of slow
+//!   backtrack-budget aborts into fast untestability proofs.
 
-use crate::compiled::SimScratch;
+use crate::compiled::{CompiledProgram, SimScratch, NO_INDEX};
 use crate::constant::ConstraintSet;
 use crate::logic::Logic;
+use crate::scoap::{compute_scoap, Scoap};
 use crate::sim::{CombSim, NetValues};
 use faultmodel::{FaultSite, StuckAt};
 use netlist::{graph, CellId, CellKind, NetId, Netlist};
@@ -20,12 +48,27 @@ use std::collections::{HashMap, HashSet};
 pub struct PodemConfig {
     /// Maximum number of backtracks before giving up on a fault.
     pub backtrack_limit: usize,
+    /// Clip each fault's search to its cones: faulty simulation, D-frontier
+    /// scanning and detection run over the site's fanout cone only, and the
+    /// good machine is maintained incrementally instead of re-simulated.
+    /// Identical decisions, far less work per decision.
+    pub cone_clip: bool,
+    /// Steer objective selection and backtrace with constraint-aware SCOAP
+    /// testability measures. Same concluded verdicts, fewer backtracks.
+    pub scoap_guidance: bool,
+    /// Backtrack as soon as no D-frontier gate can reach an observation
+    /// point through undecided nets (the classical X-path check). Sound:
+    /// concluded verdicts are unchanged, hopeless branches just die earlier.
+    pub x_path_check: bool,
 }
 
 impl Default for PodemConfig {
     fn default() -> Self {
         PodemConfig {
             backtrack_limit: 10_000,
+            cone_clip: true,
+            scoap_guidance: true,
+            x_path_check: true,
         }
     }
 }
@@ -70,6 +113,134 @@ pub enum ProofOutcome {
     Aborted,
 }
 
+/// Per-engine cone-clipping machinery: the reusable netlist cone extractor,
+/// the dense cell→gate map of the compiled program, and the per-fault clipped
+/// views. Rebuilt by [`prepare`](Self::prepare) for every fault;
+/// allocation-free once the buffers have grown to the largest cone.
+///
+/// The clipped engine splits the work along the two cones of a fault site:
+///
+/// * the **good machine** is global and *incremental*: initialised once per
+///   engine (ties and forced nets applied, everything else X) and updated by
+///   an event queue — each new assignment re-evaluates only the gates its
+///   change actually reaches, and retracting the assignments at the end of a
+///   fault restores the baseline, so no per-fault or per-decision whole-design
+///   walk exists at all;
+/// * the **fanout cone** of the site (stopping at the sequential / output
+///   boundary) is the only region where the faulty machine can differ from
+///   the good one, so faulty simulation, D-frontier scanning and detection
+///   checks all run over this usually tiny set.
+#[derive(Debug)]
+struct ClipEngine {
+    extractor: graph::ConeExtractor,
+    /// Cell arena index → compiled gate-program index (`NO_INDEX` if none).
+    gate_of_cell: Vec<u32>,
+    /// Dense never-overwrite bitmap of the constraint-forced nets.
+    forced_mask: Vec<bool>,
+    /// Fanout-cone cells that compiled to gates, in arena order — the
+    /// D-frontier scan set (identical iteration order to the full engine's
+    /// live-cell walk, restricted to the cells that can carry an effect).
+    fanout_cells: Vec<CellId>,
+    /// Gate-program indices of `fanout_cells`, ascending — the faulty
+    /// machine's evaluation program.
+    fanout_gates: Vec<u32>,
+    /// The fanout neighbourhood: the site net plus every net a fanout-cone
+    /// cell reads or writes — the nets whose faulty value can differ from
+    /// the good value, synced into the faulty buffer each iteration.
+    neighborhood: Vec<u32>,
+    /// Dense membership bitmap over `neighborhood` (cleared incrementally).
+    net_in_neighborhood: Vec<bool>,
+    /// Observation nets inside the neighbourhood — the only observation
+    /// points a fault effect can ever reach.
+    obs_nets: Vec<NetId>,
+}
+
+impl ClipEngine {
+    fn new(netlist: &Netlist, program: &CompiledProgram, forced: &HashMap<NetId, Logic>) -> Self {
+        let mut forced_mask = vec![false; netlist.num_nets()];
+        for &net in forced.keys() {
+            forced_mask[net.index()] = true;
+        }
+        ClipEngine {
+            extractor: graph::ConeExtractor::new(netlist),
+            gate_of_cell: program.gate_index_by_cell(),
+            forced_mask,
+            fanout_cells: Vec::new(),
+            fanout_gates: Vec::new(),
+            neighborhood: Vec::new(),
+            net_in_neighborhood: vec![false; netlist.num_nets()],
+            obs_nets: Vec::new(),
+        }
+    }
+
+    /// Extracts the fanout cone of `site_net` and lowers it into the clipped
+    /// faulty-machine views.
+    fn prepare(&mut self, netlist: &Netlist, observation_nets: &[NetId], site_net: NetId) {
+        for &n in &self.neighborhood {
+            self.net_in_neighborhood[n as usize] = false;
+        }
+        self.fanout_cells.clear();
+        self.fanout_gates.clear();
+        self.neighborhood.clear();
+        self.obs_nets.clear();
+
+        let ClipEngine {
+            extractor,
+            gate_of_cell,
+            fanout_cells,
+            fanout_gates,
+            neighborhood,
+            net_in_neighborhood,
+            ..
+        } = self;
+        let mut reach = |net: NetId| {
+            let i = net.index();
+            if !net_in_neighborhood[i] {
+                net_in_neighborhood[i] = true;
+                neighborhood.push(i as u32);
+            }
+        };
+        reach(site_net);
+        for &cell_id in extractor.fanout_cone_with(netlist, &[site_net]) {
+            let cell = netlist.cell(cell_id);
+            let g = gate_of_cell[cell_id.index()];
+            if g != NO_INDEX {
+                // Arena order: the extractor returns cells sorted by index.
+                fanout_cells.push(cell_id);
+                fanout_gates.push(g);
+            }
+            for &n in cell.inputs() {
+                reach(n);
+            }
+            if let Some(out) = cell.output() {
+                reach(out);
+            }
+        }
+        // Gate indices are topological; the sorted subset is a valid
+        // evaluation order.
+        self.fanout_gates.sort_unstable();
+        for &net in observation_nets {
+            if self.net_in_neighborhood[net.index()] {
+                self.obs_nets.push(net);
+            }
+        }
+    }
+}
+
+/// Reusable per-engine search scratch: the event queue of the incremental
+/// good-machine updates — a min-heap of dirty gate-program indices
+/// (topological, so each gate settles in a single visit per wave) plus the
+/// dirty bitmap that dedupes insertions — and the visited set of the X-path
+/// reachability check.
+#[derive(Debug, Default)]
+struct SearchScratch {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
+    dirty: Vec<bool>,
+    visited: Vec<bool>,
+    touched: Vec<u32>,
+    stack: Vec<u32>,
+}
+
 /// The PODEM test generator.
 ///
 /// The engine owns reusable good/faulty value buffers and a propagation
@@ -88,6 +259,12 @@ pub struct Podem<'a> {
     good_buf: NetValues,
     faulty_buf: NetValues,
     last_backtracks: usize,
+    scoap: Option<Scoap>,
+    clip: Option<ClipEngine>,
+    search: SearchScratch,
+    /// Dense membership bitmap of `observation_nets` — the target set of the
+    /// X-path reachability check.
+    is_obs_net: Vec<bool>,
 }
 
 impl<'a> Podem<'a> {
@@ -137,9 +314,41 @@ impl<'a> Podem<'a> {
         }
         observation_nets.sort_unstable();
         observation_nets.dedup();
-        let scratch = sim.scratch();
-        let good_buf = sim.blank_values();
+        let mut scratch = sim.scratch();
+        let mut good_buf = sim.blank_values();
         let faulty_buf = sim.blank_values();
+        let scoap = if config.scoap_guidance {
+            Some(compute_scoap(netlist, constraints)?)
+        } else {
+            None
+        };
+        let clip = config
+            .cone_clip
+            .then(|| ClipEngine::new(netlist, sim.program(), &forced));
+        if clip.is_some() {
+            // Baseline of the incremental good machine: ties and forced nets
+            // applied, every free net X. The search applies and retracts its
+            // assignments through the event queue, always returning here.
+            sim.propagate_with(&mut good_buf, &forced, None, &mut scratch);
+        }
+        let search = SearchScratch {
+            heap: std::collections::BinaryHeap::new(),
+            dirty: vec![
+                false;
+                if clip.is_some() {
+                    sim.program().num_gates()
+                } else {
+                    0
+                }
+            ],
+            visited: vec![false; netlist.num_nets()],
+            touched: Vec::new(),
+            stack: Vec::new(),
+        };
+        let mut is_obs_net = vec![false; netlist.num_nets()];
+        for &net in &observation_nets {
+            is_obs_net[net.index()] = true;
+        }
         Ok(Podem {
             netlist,
             sim,
@@ -152,6 +361,10 @@ impl<'a> Podem<'a> {
             good_buf,
             faulty_buf,
             last_backtracks: 0,
+            scoap,
+            clip,
+            search,
+            is_obs_net,
         })
     }
 
@@ -185,9 +398,99 @@ impl<'a> Podem<'a> {
             .propagate_with(values, &self.forced, fault, scratch);
     }
 
-    fn is_detected(&self, fault: StuckAt, good: &NetValues, faulty: &NetValues) -> bool {
+    /// Sets a controllable net of the good machine and queues its load gates
+    /// for re-evaluation. Call [`good_flush`](Self::good_flush) before the
+    /// next read.
+    fn good_set(
+        &self,
+        clip: &ClipEngine,
+        search: &mut SearchScratch,
+        values: &mut NetValues,
+        net: NetId,
+        value: Logic,
+    ) {
+        if values[net.index()] == value {
+            return;
+        }
+        values[net.index()] = value;
+        self.enqueue_loads(clip, search, net);
+    }
+
+    fn enqueue_loads(&self, clip: &ClipEngine, search: &mut SearchScratch, net: NetId) {
+        for load in self.netlist.loads_of(net) {
+            let g = clip.gate_of_cell[load.cell.index()];
+            if g != NO_INDEX && !search.dirty[g as usize] {
+                search.dirty[g as usize] = true;
+                search.heap.push(std::cmp::Reverse(g));
+            }
+        }
+    }
+
+    /// Propagates queued good-machine events to quiescence. Gates settle in
+    /// ascending (topological) program order, so each is visited at most once
+    /// per wave and the result equals a from-scratch propagation — the
+    /// incremental update changes values, never decisions.
+    fn good_flush(&self, clip: &ClipEngine, search: &mut SearchScratch, values: &mut NetValues) {
+        let program = self.sim.program();
+        while let Some(std::cmp::Reverse(g)) = search.heap.pop() {
+            let gi = g as usize;
+            search.dirty[gi] = false;
+            let new = program.eval_gate_scalar(gi, values);
+            let out = program.gate_output(gi) as usize;
+            if clip.forced_mask[out] || values[out] == new {
+                continue;
+            }
+            values[out] = new;
+            self.enqueue_loads(clip, search, NetId::from_index(out));
+        }
+    }
+
+    /// One faulty-machine evaluation: syncs the fanout neighbourhood from the
+    /// good machine, injects the fault at the site, and re-evaluates only the
+    /// fanout cone's gates — outside the fanout cone the faulty machine
+    /// equals the good machine by construction, exactly as in a full
+    /// propagation.
+    fn simulate_faulty_clipped(
+        &self,
+        clip: &ClipEngine,
+        fault: StuckAt,
+        site_net: NetId,
+        good: &NetValues,
+        faulty: &mut NetValues,
+    ) {
+        for &n in &clip.neighborhood {
+            faulty[n as usize] = good[n as usize];
+        }
+        // An output-pin fault forces the site net directly (its driver is
+        // upstream of the fanout cone and never re-evaluated). Combinational
+        // drivers respect forced nets, matching the full engine's gate loop;
+        // source drivers are overridden unconditionally inside
+        // `propagate_scalar_clipped`, also matching the full engine.
+        if let FaultSite::CellOutput { cell } = fault.site {
+            if self.netlist.cell(cell).kind().is_combinational()
+                && !clip.forced_mask[site_net.index()]
+            {
+                faulty[site_net.index()] = Logic::from_bool(fault.value);
+            }
+        }
+        self.sim.program().propagate_scalar_clipped(
+            self.netlist,
+            faulty,
+            &clip.forced_mask,
+            Some(fault),
+            &clip.fanout_gates,
+        );
+    }
+
+    fn is_detected(
+        &self,
+        fault: StuckAt,
+        good: &NetValues,
+        faulty: &NetValues,
+        obs_nets: &[NetId],
+    ) -> bool {
         // A difference at any observation net.
-        for &net in &self.observation_nets {
+        for &net in obs_nets {
             let g = good[net.index()];
             let f = faulty[net.index()];
             if g.is_definite() && f.is_definite() && g != f {
@@ -212,42 +515,110 @@ impl<'a> Podem<'a> {
     /// input (either because the driving net carries a difference, or because
     /// the cell itself hosts an excited branch fault) but the output does not
     /// yet show a definite difference.
-    fn d_frontier(&self, fault: StuckAt, good: &NetValues, faulty: &NetValues) -> Vec<CellId> {
+    ///
+    /// With cone clipping the scan covers only the fanout cone's gates — the
+    /// only cells that can carry a fault effect — kept in arena order, so the
+    /// frontier is identical to the full engine's.
+    fn d_frontier(
+        &self,
+        fault: StuckAt,
+        good: &NetValues,
+        faulty: &NetValues,
+        clip: Option<&ClipEngine>,
+    ) -> Vec<CellId> {
         let mut frontier = Vec::new();
-        for (id, cell) in self.netlist.live_cells() {
-            if !cell.kind().is_combinational() {
-                continue;
-            }
-            let Some(out) = cell.output() else { continue };
-            let out_diff = {
-                let g = good[out.index()];
-                let f = faulty[out.index()];
-                g.is_definite() && f.is_definite() && g != f
-            };
-            if out_diff {
-                continue;
-            }
-            let mut has_input_diff = cell.inputs().iter().any(|&n| {
-                let g = good[n.index()];
-                let f = faulty[n.index()];
-                g.is_definite() && f.is_definite() && g != f
-            });
-            // An excited branch fault on this very cell is a fault effect at
-            // its input even though the driving net value is unchanged.
-            if let FaultSite::CellInput { cell: fc, pin } = fault.site {
-                if fc == id {
-                    let g = good[self.netlist.input_net(fc, pin).index()];
-                    if g.is_definite() && g != Logic::from_bool(fault.value) {
-                        has_input_diff = true;
-                    }
+        match clip {
+            Some(c) => {
+                for &id in &c.fanout_cells {
+                    self.d_frontier_check(id, fault, good, faulty, &mut frontier);
                 }
             }
-            let out_undecided = good[out.index()] == Logic::X || faulty[out.index()] == Logic::X;
-            if has_input_diff && out_undecided {
-                frontier.push(id);
+            None => {
+                for (id, cell) in self.netlist.live_cells() {
+                    if !cell.kind().is_combinational() {
+                        continue;
+                    }
+                    self.d_frontier_check(id, fault, good, faulty, &mut frontier);
+                }
             }
         }
         frontier
+    }
+
+    fn d_frontier_check(
+        &self,
+        id: CellId,
+        fault: StuckAt,
+        good: &NetValues,
+        faulty: &NetValues,
+        frontier: &mut Vec<CellId>,
+    ) {
+        let cell = self.netlist.cell(id);
+        let Some(out) = cell.output() else { return };
+        let out_diff = {
+            let g = good[out.index()];
+            let f = faulty[out.index()];
+            g.is_definite() && f.is_definite() && g != f
+        };
+        if out_diff {
+            return;
+        }
+        let mut has_input_diff = cell.inputs().iter().any(|&n| {
+            let g = good[n.index()];
+            let f = faulty[n.index()];
+            g.is_definite() && f.is_definite() && g != f
+        });
+        // An excited branch fault on this very cell is a fault effect at
+        // its input even though the driving net value is unchanged.
+        if let FaultSite::CellInput { cell: fc, pin } = fault.site {
+            if fc == id {
+                let g = good[self.netlist.input_net(fc, pin).index()];
+                if g.is_definite() && g != Logic::from_bool(fault.value) {
+                    has_input_diff = true;
+                }
+            }
+        }
+        let out_undecided = good[out.index()] == Logic::X || faulty[out.index()] == Logic::X;
+        if has_input_diff && out_undecided {
+            frontier.push(id);
+        }
+    }
+
+    /// Picks one of `x_inputs` (pin indices of `cell`) to pursue for
+    /// `value`: without SCOAP the first (the classical fixed order), with
+    /// SCOAP the cheapest (`hardest == false`, for "any input suffices"
+    /// objectives) or the costliest (`hardest == true`, for "all inputs
+    /// required" objectives — failing fast on the bottleneck input prunes
+    /// whole subtrees). Ties keep the first candidate, so the choice is
+    /// deterministic.
+    fn choose_input(
+        &self,
+        cell: &netlist::Cell,
+        x_inputs: &[usize],
+        value: bool,
+        hardest: bool,
+    ) -> usize {
+        let Some(scoap) = &self.scoap else {
+            return x_inputs[0];
+        };
+        let cost = |pin: usize| {
+            let net = cell.inputs()[pin];
+            if value {
+                scoap.cc1(net)
+            } else {
+                scoap.cc0(net)
+            }
+        };
+        let mut best = x_inputs[0];
+        let mut best_cost = cost(best);
+        for &pin in &x_inputs[1..] {
+            let c = cost(pin);
+            if (hardest && c > best_cost) || (!hardest && c < best_cost) {
+                best = pin;
+                best_cost = c;
+            }
+        }
+        best
     }
 
     /// Backtraces an objective `(net, value)` to an unassigned controllable
@@ -292,11 +663,15 @@ impl<'a> Podem<'a> {
                     let identity = matches!(kind, CellKind::And(_) | CellKind::Nand(_));
                     // AND family: identity value 1; OR family: identity 0.
                     if want == identity {
-                        // All inputs must take the identity value: pick any X.
-                        (x_inputs[0], identity)
+                        // All inputs must take the identity value: pick the
+                        // hardest-to-control X (fail fast under SCOAP).
+                        (self.choose_input(cell, &x_inputs, identity, true), identity)
                     } else {
-                        // A single controlling input suffices.
-                        (x_inputs[0], !identity)
+                        // A single controlling input suffices: the cheapest.
+                        (
+                            self.choose_input(cell, &x_inputs, !identity, false),
+                            !identity,
+                        )
                     }
                 }
                 CellKind::Xor(_) | CellKind::Xnor(_) => {
@@ -307,9 +682,10 @@ impl<'a> Podem<'a> {
                         .filter_map(|&n| good[n.index()].to_bool())
                         .fold(false, |acc, b| acc ^ b);
                     // Setting all-but-one X inputs to 0 keeps their parity
-                    // neutral; the chosen input provides the remainder.
+                    // neutral; the chosen input provides the remainder — any
+                    // X works, so take the cheapest for the remainder value.
                     let want = value ^ inverting ^ parity_known;
-                    (x_inputs[0], want)
+                    (self.choose_input(cell, &x_inputs, want, false), want)
                 }
                 CellKind::Mux2 => {
                     let s = good[cell.inputs()[2].index()];
@@ -343,11 +719,21 @@ impl<'a> Podem<'a> {
         let mut good = std::mem::take(&mut self.good_buf);
         let mut faulty = std::mem::take(&mut self.faulty_buf);
         let mut scratch = std::mem::take(&mut self.scratch);
-        let (outcome, backtracks) =
-            self.generate_inner(fault, &mut good, &mut faulty, &mut scratch);
+        let mut clip = self.clip.take();
+        let mut search = std::mem::take(&mut self.search);
+        let (outcome, backtracks) = self.generate_inner(
+            fault,
+            &mut good,
+            &mut faulty,
+            &mut scratch,
+            clip.as_mut(),
+            &mut search,
+        );
         self.good_buf = good;
         self.faulty_buf = faulty;
         self.scratch = scratch;
+        self.clip = clip;
+        self.search = search;
         self.last_backtracks = backtracks;
         outcome
     }
@@ -364,12 +750,141 @@ impl<'a> Podem<'a> {
         }
     }
 
+    /// The classical X-path check: can any frontier gate still drive its
+    /// fault effect to an observation point through nets whose value is not
+    /// yet decided?
+    ///
+    /// Three-valued simulation is monotone — a definite net value can never
+    /// change under further assignments — so when every forward path from
+    /// every frontier gate is cut by a net that is definite and equal in both
+    /// machines, no extension of the current assignments can ever detect the
+    /// fault and the search can backtrack immediately. This prunes exactly
+    /// the searches the mission constraints make hopeless (masked observation
+    /// points, forced side inputs), turning slow backtrack-budget aborts into
+    /// fast proofs.
+    fn frontier_has_x_path(
+        &self,
+        frontier: &[CellId],
+        good: &NetValues,
+        faulty: &NetValues,
+        search: &mut SearchScratch,
+    ) -> bool {
+        let viable = |n: usize| {
+            let g = good[n];
+            let f = faulty[n];
+            !(g.is_definite() && f.is_definite() && g == f)
+        };
+        search.stack.clear();
+        for &gate in frontier {
+            let Some(out) = self.netlist.cell(gate).output() else {
+                continue;
+            };
+            let n = out.index();
+            if viable(n) && !search.visited[n] {
+                search.visited[n] = true;
+                search.touched.push(n as u32);
+                search.stack.push(n as u32);
+            }
+        }
+        let mut found = false;
+        'walk: while let Some(n) = search.stack.pop() {
+            let n = n as usize;
+            if self.is_obs_net[n] {
+                found = true;
+                break 'walk;
+            }
+            for load in self.netlist.loads_of(NetId::from_index(n)) {
+                let cell = self.netlist.cell(load.cell);
+                if cell.is_dead() || !cell.kind().is_combinational() {
+                    continue;
+                }
+                let Some(out) = cell.output() else { continue };
+                let o = out.index();
+                if !search.visited[o] && viable(o) {
+                    search.visited[o] = true;
+                    search.touched.push(o as u32);
+                    search.stack.push(o as u32);
+                }
+            }
+        }
+        for &n in &search.touched {
+            search.visited[n as usize] = false;
+        }
+        search.touched.clear();
+        found
+    }
+
+    /// The next objective for advancing the D-frontier: an X side input of a
+    /// frontier gate, to be driven to the gate's non-controlling value.
+    ///
+    /// Without SCOAP: the first frontier gate's first X input (the classical
+    /// fixed order). With SCOAP: the gate whose output is cheapest to observe
+    /// (least CO — the most promising propagation path), and among its X side
+    /// inputs the one hardest to drive non-controlling — every side input
+    /// must get there eventually, so attacking the bottleneck first fails
+    /// fast and prunes backtracks.
+    fn frontier_objective(&self, frontier: &[CellId], good: &NetValues) -> Option<(NetId, bool)> {
+        let gate = match &self.scoap {
+            None => *frontier.first()?,
+            Some(scoap) => {
+                let mut best: Option<(u32, CellId)> = None;
+                for &gate in frontier {
+                    let out = self
+                        .netlist
+                        .cell(gate)
+                        .output()
+                        .expect("frontier gates drive a net");
+                    let co = scoap.co(out);
+                    if best.is_none_or(|(b, _)| co < b) {
+                        best = Some((co, gate));
+                    }
+                }
+                best?.1
+            }
+        };
+        let cell = self.netlist.cell(gate);
+        let noncontrolling = match cell.kind().controlling_value() {
+            Some(cv) => !cv,
+            None => true,
+        };
+        let x_inputs: Vec<usize> = cell
+            .inputs()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| good[n.index()] == Logic::X)
+            .map(|(i, _)| i)
+            .collect();
+        // Frontier gates always carry an X side input (their output is still
+        // undecided), but the chosen gate's Xs may sit on other frontier
+        // gates when SCOAP re-ordered the scan; fall back to scan order then.
+        let pin = if x_inputs.is_empty() {
+            return frontier.iter().find_map(|&g| {
+                let c = self.netlist.cell(g);
+                c.inputs()
+                    .iter()
+                    .find(|&&n| good[n.index()] == Logic::X)
+                    .map(|&n| {
+                        let nc = match c.kind().controlling_value() {
+                            Some(cv) => !cv,
+                            None => true,
+                        };
+                        (n, nc)
+                    })
+            });
+        } else {
+            self.choose_input(cell, &x_inputs, noncontrolling, true)
+        };
+        Some((cell.inputs()[pin], noncontrolling))
+    }
+
     fn generate_inner(
         &self,
         fault: StuckAt,
         good: &mut NetValues,
         faulty: &mut NetValues,
         scratch: &mut SimScratch,
+        clip: Option<&mut ClipEngine>,
+        search: &mut SearchScratch,
     ) -> (PodemOutcome, usize) {
         let Some(site_net) = self.site_net(fault) else {
             // Detached output pin: nothing to excite or observe — redundant in
@@ -382,54 +897,64 @@ impl<'a> Podem<'a> {
         if faulty.len() != self.netlist.num_nets() {
             *faulty = self.sim.blank_values();
         }
+        // Clip the search to the fault's fanout cone: one cheap extraction
+        // per fault buys faulty simulation, D-frontier scanning and detection
+        // over the usually tiny cone, while the good machine is maintained
+        // incrementally — each decision re-evaluates only the gates its
+        // change actually reaches.
+        let clip: Option<&ClipEngine> = match clip {
+            Some(c) => {
+                c.prepare(self.netlist, &self.observation_nets, site_net);
+                Some(c)
+            }
+            None => None,
+        };
+        let obs_nets: &[NetId] = clip.map_or(&self.observation_nets, |c| &c.obs_nets);
         let stuck = Logic::from_bool(fault.value);
         let mut assignments: HashMap<NetId, Logic> = HashMap::new();
         // Decision stack: (net, current value, tried_both).
         let mut stack: Vec<(NetId, bool, bool)> = Vec::new();
         let mut backtracks = 0usize;
 
-        loop {
-            self.simulate_into(&assignments, None, good, scratch);
-            self.simulate_into(&assignments, Some(fault), faulty, scratch);
+        let outcome = 'search: loop {
+            match clip {
+                Some(c) => {
+                    // The good machine is already current (incrementally
+                    // maintained); only the faulty view needs refreshing.
+                    self.simulate_faulty_clipped(c, fault, site_net, good, faulty);
+                }
+                None => {
+                    self.simulate_into(&assignments, None, good, scratch);
+                    self.simulate_into(&assignments, Some(fault), faulty, scratch);
+                }
+            }
 
-            if self.is_detected(fault, good, faulty) {
+            if self.is_detected(fault, good, faulty, obs_nets) {
                 let pattern = TestPattern {
                     assignments: assignments
                         .iter()
                         .filter_map(|(&n, &v)| v.to_bool().map(|b| (n, b)))
                         .collect(),
                 };
-                return (PodemOutcome::Test(pattern), backtracks);
+                break 'search PodemOutcome::Test(pattern);
             }
 
             let site_value = good[site_net.index()];
             let excitation_conflict = site_value.is_definite() && site_value == stuck;
-            let frontier = self.d_frontier(fault, good, faulty);
+            let frontier = self.d_frontier(fault, good, faulty, clip);
             let excited = site_value.is_definite() && site_value != stuck;
-            let dead_end = excitation_conflict || (excited && frontier.is_empty());
+            let dead_end = excitation_conflict
+                || (excited
+                    && (frontier.is_empty()
+                        || (self.config.x_path_check
+                            && !self.frontier_has_x_path(&frontier, good, faulty, search))));
 
             let objective = if dead_end {
                 None
             } else if !excited {
                 Some((site_net, !fault.value))
             } else {
-                // Advance the D-frontier: set an X side input of a frontier
-                // gate to its non-controlling value.
-                let mut obj = None;
-                'outer: for &gate in &frontier {
-                    let cell = self.netlist.cell(gate);
-                    let noncontrolling = match cell.kind().controlling_value() {
-                        Some(cv) => !cv,
-                        None => true,
-                    };
-                    for &n in cell.inputs() {
-                        if good[n.index()] == Logic::X {
-                            obj = Some((n, noncontrolling));
-                            break 'outer;
-                        }
-                    }
-                }
-                obj
+                self.frontier_objective(&frontier, good)
             };
 
             let decision =
@@ -439,6 +964,10 @@ impl<'a> Podem<'a> {
                 Some((input, value)) => {
                     assignments.insert(input, Logic::from_bool(value));
                     stack.push((input, value, false));
+                    if let Some(c) = clip {
+                        self.good_set(c, search, good, input, Logic::from_bool(value));
+                        self.good_flush(c, search, good);
+                    }
                 }
                 None => {
                     // Backtrack. Exhausting the decision stack is the
@@ -448,24 +977,49 @@ impl<'a> Podem<'a> {
                     // the coverage denominator.
                     loop {
                         match stack.pop() {
-                            None => return (PodemOutcome::Redundant, backtracks),
+                            None => break 'search PodemOutcome::Redundant,
                             Some((input, value, tried_both)) => {
                                 assignments.remove(&input);
+                                if let Some(c) = clip {
+                                    self.good_set(c, search, good, input, Logic::X);
+                                }
                                 if !tried_both {
                                     backtracks += 1;
                                     if backtracks > self.config.backtrack_limit {
-                                        return (PodemOutcome::Aborted, backtracks);
+                                        break 'search PodemOutcome::Aborted;
                                     }
                                     assignments.insert(input, Logic::from_bool(!value));
                                     stack.push((input, !value, true));
+                                    if let Some(c) = clip {
+                                        self.good_set(
+                                            c,
+                                            search,
+                                            good,
+                                            input,
+                                            Logic::from_bool(!value),
+                                        );
+                                    }
                                     break;
                                 }
                             }
                         }
                     }
+                    if let Some(c) = clip {
+                        self.good_flush(c, search, good);
+                    }
                 }
             }
+        };
+
+        // Retract this fault's surviving assignments so the incremental good
+        // machine returns to its baseline for the next fault.
+        if let Some(c) = clip {
+            for &net in assignments.keys() {
+                self.good_set(c, search, good, net, Logic::X);
+            }
+            self.good_flush(c, search, good);
         }
+        (outcome, backtracks)
     }
 }
 
@@ -663,7 +1217,10 @@ mod tests {
         let mut truncated = Podem::new(
             &n,
             &ConstraintSet::full_scan(),
-            PodemConfig { backtrack_limit: 0 },
+            PodemConfig {
+                backtrack_limit: 0,
+                ..PodemConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(truncated.generate(fault), PodemOutcome::Aborted);
@@ -693,6 +1250,79 @@ mod tests {
                 PodemOutcome::Aborted => ProofOutcome::Aborted,
             };
             assert_eq!(podem.prove(fault), expected, "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn cone_clipping_is_bit_identical_to_the_full_engine() {
+        // Clipping must change no decision: outcomes AND backtrack counts
+        // agree fault-by-fault with the unclipped engine (SCOAP off on both
+        // sides so the search order is the classical fixed one).
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("a", 4);
+        let c = b.input("c");
+        let t1 = b.and2(a[0], a[1]);
+        let t2 = b.or2(a[0], t1); // redundant AND s-a-0 inside
+        let t3 = b.xor2(t2, a[2]);
+        let t4 = b.mux2(t3, a[3], c);
+        b.output("y", t4);
+        b.output("z", t1);
+        let n = b.finish();
+        let mut constraints = ConstraintSet::full_scan();
+        constraints.tie_net(a[3], false);
+        let base = PodemConfig {
+            backtrack_limit: 4,
+            scoap_guidance: false,
+            cone_clip: false,
+            ..PodemConfig::default()
+        };
+        let mut full = Podem::new(&n, &constraints, base).unwrap();
+        let mut clipped = Podem::new(
+            &n,
+            &constraints,
+            PodemConfig {
+                cone_clip: true,
+                ..base
+            },
+        )
+        .unwrap();
+        for fault in faultmodel::FaultList::full_universe(&n).faults().to_vec() {
+            let expected = full.generate(fault);
+            let expected_backtracks = full.last_backtracks();
+            assert_eq!(clipped.generate(fault), expected, "{fault:?}");
+            assert_eq!(
+                clipped.last_backtracks(),
+                expected_backtracks,
+                "{fault:?} took a different search path under clipping"
+            );
+        }
+    }
+
+    #[test]
+    fn scoap_guidance_reaches_the_same_concluded_verdicts() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("a", 5);
+        let t1 = b.and2(a[0], a[1]);
+        let t2 = b.or2(a[0], t1);
+        let t3 = b.reduce_and(&[t2, a[2], a[3], a[4]].map(|n| n));
+        b.output("y", t3);
+        let n = b.finish();
+        let constraints = ConstraintSet::full_scan();
+        let mut plain = Podem::new(
+            &n,
+            &constraints,
+            PodemConfig {
+                scoap_guidance: false,
+                cone_clip: false,
+                ..PodemConfig::default()
+            },
+        )
+        .unwrap();
+        let mut guided = Podem::new(&n, &constraints, PodemConfig::default()).unwrap();
+        for fault in faultmodel::FaultList::full_universe(&n).faults().to_vec() {
+            // Generous budget: both searches conclude, and concluded verdicts
+            // are search-order independent.
+            assert_eq!(guided.prove(fault), plain.prove(fault), "{fault:?}");
         }
     }
 

@@ -10,6 +10,19 @@
 //! [`ProofOutcome::ProvenUntestable`]; a fault whose backtrack budget runs out
 //! is [`ProofOutcome::Aborted`] and stays potentially testable.
 //!
+//! Three multiplicative per-fault reductions keep the run fast (all on by
+//! default): the PODEM engines clip every search to the fault's fanout cone
+//! (with an incrementally maintained good machine) and steer it with SCOAP
+//! measures (see [`PodemConfig`]), and the
+//! worklist itself is *collapse-scheduled* ([`ProofConfig::use_collapse`]):
+//! structurally equivalent faults ([`faultmodel::collapse`]) share one proof
+//! attempt — the class representative is proven and a **concluded** verdict
+//! (`TestExists` / `ProvenUntestable`) expands to every member, since
+//! equivalent faults have identical faulty functions under any constraint
+//! environment. An `Aborted` representative expands to nothing: the
+//! remaining members are proven individually in a second pass, so a
+//! backtrack-budget give-up can never masquerade as a class-wide verdict.
+//!
 //! Each worker owns its own [`Podem`] engine (and therefore its own reusable
 //! simulation buffers), chunks of faults are claimed from a shared atomic
 //! cursor, and every per-fault outcome is independent of scheduling — the
@@ -17,7 +30,7 @@
 
 use crate::constant::ConstraintSet;
 use crate::podem::{Podem, PodemConfig, ProofOutcome};
-use faultmodel::StuckAt;
+use faultmodel::{collapse_with_barriers, FaultList, StuckAt};
 use netlist::{graph, Netlist};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
@@ -35,6 +48,20 @@ pub struct ProofConfig {
     /// Worker threads to fan the faults out across; `0` uses the machine's
     /// available parallelism. The outcome vector is identical regardless.
     pub threads: usize,
+    /// Prove one representative per structural equivalence class and expand
+    /// concluded verdicts across the class (aborts never expand; their class
+    /// members are proven individually instead).
+    pub use_collapse: bool,
+    /// Clip every PODEM search to the fault's cones (see
+    /// [`PodemConfig::cone_clip`]).
+    pub cone_clip: bool,
+    /// Steer the PODEM searches with SCOAP testability measures (see
+    /// [`PodemConfig::scoap_guidance`]).
+    pub use_scoap: bool,
+    /// Prune hopeless branches with the X-path check (see
+    /// [`PodemConfig::x_path_check`]). Off reproduces the pre-acceleration
+    /// reference engine exactly.
+    pub use_x_path: bool,
 }
 
 impl Default for ProofConfig {
@@ -42,6 +69,10 @@ impl Default for ProofConfig {
         ProofConfig {
             backtrack_limit: 32,
             threads: 0,
+            use_collapse: true,
+            cone_clip: true,
+            use_scoap: true,
+            use_x_path: true,
         }
     }
 }
@@ -50,6 +81,9 @@ impl ProofConfig {
     fn podem_config(&self) -> PodemConfig {
         PodemConfig {
             backtrack_limit: self.backtrack_limit,
+            cone_clip: self.cone_clip,
+            scoap_guidance: self.use_scoap,
+            x_path_check: self.use_x_path,
         }
     }
 
@@ -108,12 +142,81 @@ fn decode(code: u8) -> ProofOutcome {
     match code {
         1 => ProofOutcome::TestExists,
         2 => ProofOutcome::ProvenUntestable,
-        _ => ProofOutcome::Aborted,
+        3 => ProofOutcome::Aborted,
+        // 0 is the never-written initializer: a fan-out scheduling bug that
+        // skipped a fault. Mapping it to `Aborted` would disguise the bug as
+        // a legitimate budget give-up, so fail loudly instead.
+        other => panic!("proof fan-out left a fault unvisited (result code {other})"),
     }
+}
+
+/// Proves every fault in `worklist` (indices into `faults`) with a fan-out
+/// over scoped worker threads, writing `encode`d outcomes into `results` at
+/// the worklist positions. Below two resolved workers the faults are proven
+/// on `single_engine`, built lazily and kept alive across calls — the
+/// collapse schedule invokes this twice (representatives, then the members
+/// of aborted classes) and engine construction is design-sized (SCOAP,
+/// baseline propagation).
+///
+/// The netlist must already have been validated acyclic (the workers unwrap
+/// engine construction).
+fn prove_worklist<'a>(
+    netlist: &'a Netlist,
+    constraints: &ConstraintSet,
+    faults: &[StuckAt],
+    worklist: &[usize],
+    config: &ProofConfig,
+    results: &[AtomicU8],
+    single_engine: &mut Option<Podem<'a>>,
+) {
+    if worklist.is_empty() {
+        return;
+    }
+    let workers = config.resolve_threads(worklist.len());
+    if workers <= 1 {
+        let podem = match single_engine {
+            Some(podem) => podem,
+            None => single_engine.insert(
+                Podem::new(netlist, constraints, config.podem_config())
+                    .expect("levelization already validated"),
+            ),
+        };
+        for &i in worklist {
+            results[i].store(encode(podem.prove(faults[i])), Ordering::Relaxed);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let chunks = worklist.len().div_ceil(CHUNK);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut podem = Podem::new(netlist, constraints, config.podem_config())
+                    .expect("levelization already validated");
+                loop {
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= chunks {
+                        break;
+                    }
+                    let start = chunk * CHUNK;
+                    let end = (start + CHUNK).min(worklist.len());
+                    for &i in &worklist[start..end] {
+                        results[i].store(encode(podem.prove(faults[i])), Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
 }
 
 /// Proves (or fails to prove) untestability for every fault in `faults` under
 /// `constraints`, returning one [`ProofOutcome`] per fault in input order.
+///
+/// With [`ProofConfig::use_collapse`] the worklist is collapse-scheduled:
+/// one representative per structural equivalence class is proven (the class's
+/// first fault in input order), concluded verdicts expand to the rest of the
+/// class, and members of classes whose representative *aborted* are proven
+/// individually in a second pass — an abort never expands.
 ///
 /// The faults are fanned out across scoped worker threads according to
 /// `config.threads`; per-fault outcomes do not depend on the fan-out, so any
@@ -128,51 +231,111 @@ pub fn prove_faults(
     faults: &[StuckAt],
     config: &ProofConfig,
 ) -> Result<Vec<ProofOutcome>, graph::CombinationalLoop> {
+    // Validate levelization once up front (and still surface a cyclic design
+    // when the fault list is empty) so the workers can unwrap — levelize is
+    // the only error source of engine construction, and validating with it
+    // directly avoids building (and immediately dropping) a full engine with
+    // its SCOAP computation and baseline propagation.
+    graph::levelize(netlist)?;
     if faults.is_empty() {
-        // Still surface a cyclic design instead of silently succeeding.
-        Podem::new(netlist, constraints, config.podem_config())?;
         return Ok(Vec::new());
     }
-    let workers = config.resolve_threads(faults.len());
-    if workers <= 1 {
-        let mut podem = Podem::new(netlist, constraints, config.podem_config())?;
-        return Ok(faults.iter().map(|&fault| podem.prove(fault)).collect());
+    let results: Vec<AtomicU8> = (0..faults.len()).map(|_| AtomicU8::new(0)).collect();
+
+    let mut single_engine: Option<Podem<'_>> = None;
+
+    if !config.use_collapse {
+        let worklist: Vec<usize> = (0..faults.len()).collect();
+        prove_worklist(
+            netlist,
+            constraints,
+            faults,
+            &worklist,
+            config,
+            &results,
+            &mut single_engine,
+        );
+        return Ok(results
+            .into_iter()
+            .map(|c| decode(c.into_inner()))
+            .collect());
     }
 
-    // Validate levelization once up front so the workers can unwrap.
-    Podem::new(netlist, constraints, config.podem_config())?;
-    let results: Vec<AtomicU8> = (0..faults.len()).map(|_| AtomicU8::new(0)).collect();
-    let cursor = AtomicUsize::new(0);
-    let chunks = faults.len().div_ceil(CHUNK);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut podem = Podem::new(netlist, constraints, config.podem_config())
-                    .expect("levelization already validated");
-                loop {
-                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
-                    if chunk >= chunks {
-                        break;
-                    }
-                    let start = chunk * CHUNK;
-                    let end = (start + CHUNK).min(faults.len());
-                    for i in start..end {
-                        results[i].store(encode(podem.prove(faults[i])), Ordering::Relaxed);
-                    }
-                }
-            });
-        }
+    // Collapse-schedule: group the population by structural equivalence
+    // class and prove the first member of each class.
+    //
+    // One frame-specific restriction: structural equivalence reasons about
+    // the faulty *function*, but a constraint-forced net decouples a stem
+    // fault from its branch — a gate never overwrites a forced net, so the
+    // stem fault is masked, while the branch fault still injects at the
+    // load's pin read. Every forced net is therefore a stem/branch barrier
+    // when the classes are built (a post-hoc exclusion would not do: the
+    // union-find chains *through* the net, linking sound members upstream of
+    // the forcing point to sound members downstream of it whose behaviour
+    // differs). Gate-local unions stay valid on forced nets — a forced gate
+    // output masks the gate's pin faults and its output fault alike.
+    let list = FaultList::from_faults(faults.to_vec());
+    let collapsed = collapse_with_barriers(netlist, &list, |net| {
+        constraints.forced_nets.contains_key(&net)
     });
+    // Class representative (universe index) → input index of its prover.
+    let mut prover_of_class: Vec<Option<usize>> = vec![None; list.len()];
+    let mut class_of: Vec<usize> = Vec::with_capacity(faults.len());
+    let mut provers: Vec<usize> = Vec::new();
+    for (i, &fault) in faults.iter().enumerate() {
+        let class = collapsed.representative_of(
+            list.index_of(fault)
+                .expect("every input fault is in its own universe"),
+        );
+        class_of.push(class);
+        if prover_of_class[class].is_none() {
+            prover_of_class[class] = Some(i);
+            provers.push(i);
+        }
+    }
+    prove_worklist(
+        netlist,
+        constraints,
+        faults,
+        &provers,
+        config,
+        &results,
+        &mut single_engine,
+    );
+
+    // Expansion: concluded class verdicts cover every member; members of
+    // aborted classes go into the individual second pass.
+    let mut second_pass: Vec<usize> = Vec::new();
+    for i in 0..faults.len() {
+        let prover = prover_of_class[class_of[i]].expect("every class has a prover");
+        if prover == i {
+            continue;
+        }
+        match decode(results[prover].load(Ordering::Relaxed)) {
+            ProofOutcome::Aborted => second_pass.push(i),
+            concluded => results[i].store(encode(concluded), Ordering::Relaxed),
+        }
+    }
+    prove_worklist(
+        netlist,
+        constraints,
+        faults,
+        &second_pass,
+        config,
+        &results,
+        &mut single_engine,
+    );
+
     Ok(results
         .into_iter()
-        .map(|code| decode(code.into_inner()))
+        .map(|c| decode(c.into_inner()))
         .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use faultmodel::FaultList;
+    use faultmodel::{collapse, FaultList};
     use netlist::NetlistBuilder;
 
     fn redundant_design() -> netlist::Netlist {
@@ -280,6 +443,214 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "proof fan-out left a fault unvisited")]
+    fn decode_rejects_the_unwritten_result_code() {
+        // Regression: code 0 is the never-written initializer of the result
+        // slots. It used to decode to `Aborted`, so a scheduling bug that
+        // skipped a fault would masquerade as a legitimate budget give-up.
+        let _ = decode(0);
+    }
+
+    #[test]
+    fn decode_roundtrips_every_real_outcome() {
+        for outcome in [
+            ProofOutcome::TestExists,
+            ProofOutcome::ProvenUntestable,
+            ProofOutcome::Aborted,
+        ] {
+            assert_eq!(decode(encode(outcome)), outcome);
+        }
+    }
+
+    #[test]
+    fn collapse_scheduling_matches_individual_proofs() {
+        // Expanded class verdicts must agree fault-by-fault with proving
+        // every member on its own (generous budget: everything concludes).
+        let n = redundant_design();
+        let faults = FaultList::full_universe(&n).faults().to_vec();
+        let constraints = ConstraintSet::full_scan();
+        let scheduled = prove_faults(
+            &n,
+            &constraints,
+            &faults,
+            &ProofConfig {
+                backtrack_limit: 10_000,
+                threads: 2,
+                use_collapse: true,
+                ..ProofConfig::default()
+            },
+        )
+        .unwrap();
+        let individual = prove_faults(
+            &n,
+            &constraints,
+            &faults,
+            &ProofConfig {
+                backtrack_limit: 10_000,
+                threads: 1,
+                use_collapse: false,
+                ..ProofConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(scheduled, individual);
+        // The design collapses (AND/OR input faults merge with output
+        // faults), so the schedule really did expand verdicts.
+        let list = FaultList::from_faults(faults.clone());
+        assert!(collapse(&n, &list).num_classes() < faults.len());
+    }
+
+    #[test]
+    fn aborted_representatives_do_not_expand() {
+        // With a zero budget the redundant-AND classes abort. The expansion
+        // rule says: a class prover's concluded verdict covers its class; an
+        // aborted prover covers nothing, and every other member falls back to
+        // its own individual proof.
+        let n = redundant_design();
+        let faults = FaultList::full_universe(&n).faults().to_vec();
+        let constraints = ConstraintSet::full_scan();
+        let config = ProofConfig {
+            backtrack_limit: 0,
+            threads: 1,
+            use_collapse: true,
+            ..ProofConfig::default()
+        };
+        let scheduled = prove_faults(&n, &constraints, &faults, &config).unwrap();
+        let mut podem = Podem::new(&n, &constraints, config.podem_config()).unwrap();
+        let solo: Vec<ProofOutcome> = faults.iter().map(|&f| podem.prove(f)).collect();
+        assert!(
+            solo.contains(&ProofOutcome::Aborted),
+            "the zero budget should abort some searches"
+        );
+
+        // Recompute the schedule's prover assignment.
+        let list = FaultList::from_faults(faults.clone());
+        let collapsed = collapse(&n, &list);
+        let mut prover: std::collections::HashMap<usize, usize> = Default::default();
+        for (i, &f) in faults.iter().enumerate() {
+            prover
+                .entry(collapsed.representative_of(list.index_of(f).unwrap()))
+                .or_insert(i);
+        }
+        for (i, &f) in faults.iter().enumerate() {
+            let p = prover[&collapsed.representative_of(list.index_of(f).unwrap())];
+            if p == i || scheduled[p] == ProofOutcome::Aborted {
+                // Provers and members of aborted classes: own verdict.
+                assert_eq!(scheduled[i], solo[i], "{f:?}");
+            } else {
+                // Members of concluded classes: the expanded verdict.
+                assert_eq!(scheduled[i], scheduled[p], "{f:?}");
+                assert_ne!(scheduled[i], ProofOutcome::Aborted, "{f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_nets_never_share_a_scheduled_class() {
+        // A forced gate-driven net masks its stem fault (gates never
+        // overwrite forced nets) but not the branch fault at the load pin —
+        // the two are structurally "equivalent" yet behave differently, so
+        // the scheduler must prove them individually. y = buf(a AND b) into
+        // an output, with the buffer's output net forced to 0: the branch
+        // fault at the output pin (s-a-1) is detectable (good value 0 at an
+        // observation pin), the stem fault (s-a-1) is masked and untestable.
+        let mut b = NetlistBuilder::new("forced");
+        let a = b.input("a");
+        let c = b.input("b");
+        let t = b.and2(a, c);
+        let y = b.buf(t);
+        b.output("y", y);
+        let n = b.finish();
+        let buf = n.driver_of(y).unwrap();
+        let po = n.primary_outputs()[0];
+        let mut constraints = ConstraintSet::full_scan();
+        constraints.tie_net(y, false);
+        let stem = StuckAt::output(buf, true);
+        let branch = StuckAt::input(po, 0, true);
+        let faults = vec![stem, branch];
+        for use_collapse in [false, true] {
+            let outcomes = prove_faults(
+                &n,
+                &constraints,
+                &faults,
+                &ProofConfig {
+                    backtrack_limit: 10_000,
+                    threads: 1,
+                    use_collapse,
+                    ..ProofConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                outcomes[0],
+                ProofOutcome::ProvenUntestable,
+                "stem is masked by the forced net (use_collapse={use_collapse})"
+            );
+            assert_eq!(
+                outcomes[1],
+                ProofOutcome::TestExists,
+                "branch at the observation pin stays detectable (use_collapse={use_collapse})"
+            );
+        }
+    }
+
+    #[test]
+    fn classes_never_chain_through_a_forced_net() {
+        // Regression: the structural union-find chains *through* a net —
+        // gate-local rule on the AND, stem/branch rule on its (forced)
+        // output, gate-local rule on the buffer — linking the masked
+        // AND-input fault (untestable: the forced net swallows its effect)
+        // to the live buffer-output fault (testable: downstream of the
+        // forcing point). A site-based exclusion alone is not enough; the
+        // forced net must be a barrier when the classes are built, or the
+        // scheduler expands ProvenUntestable onto a genuinely testable
+        // fault.
+        //
+        //   a, b → AND → t (forced to 1) → BUF → y (primary output)
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let c = b.input("b");
+        let t = b.and2(a, c);
+        let y = b.buf(t);
+        b.output("y", y);
+        let n = b.finish();
+        let and = n.driver_of(t).unwrap();
+        let buf = n.driver_of(y).unwrap();
+        let po = n.primary_outputs()[0];
+        let mut constraints = ConstraintSet::full_scan();
+        constraints.tie_net(t, true);
+        let faults = vec![
+            StuckAt::input(and, 0, false), // masked: effect dies at forced t
+            StuckAt::output(and, false),   // masked (sited on t)
+            StuckAt::input(buf, 0, false), // live: pin read injects past t
+            StuckAt::output(buf, false),   // live: y can be driven to 0
+            StuckAt::input(po, 0, false),  // live branch at the output pin
+        ];
+        let expected = [
+            ProofOutcome::ProvenUntestable,
+            ProofOutcome::ProvenUntestable,
+            ProofOutcome::TestExists,
+            ProofOutcome::TestExists,
+            ProofOutcome::TestExists,
+        ];
+        for use_collapse in [false, true] {
+            let outcomes = prove_faults(
+                &n,
+                &constraints,
+                &faults,
+                &ProofConfig {
+                    backtrack_limit: 10_000,
+                    threads: 1,
+                    use_collapse,
+                    ..ProofConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(outcomes, expected, "use_collapse={use_collapse}");
+        }
+    }
+
+    #[test]
     fn zero_budget_aborts_are_never_upgraded() {
         let n = redundant_design();
         let faults = FaultList::full_universe(&n).faults().to_vec();
@@ -290,6 +661,7 @@ mod tests {
             &ProofConfig {
                 backtrack_limit: 0,
                 threads: 2,
+                ..ProofConfig::default()
             },
         )
         .unwrap();
@@ -304,6 +676,7 @@ mod tests {
             &ProofConfig {
                 backtrack_limit: 10_000,
                 threads: 1,
+                ..ProofConfig::default()
             },
         )
         .unwrap();

@@ -47,6 +47,13 @@ impl<'a> CombSim<'a> {
         self.netlist
     }
 
+    /// The compiled simulation program this simulator evaluates — shared
+    /// with callers that drive clipped propagation themselves (PODEM's
+    /// cone-clipped search).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
     /// Creates an all-`X` value array sized for this design.
     pub fn blank_values(&self) -> NetValues {
         vec![Logic::X; self.netlist.num_nets()]

@@ -120,6 +120,7 @@ pub fn run_campaign(
             &config.constraints,
             PodemConfig {
                 backtrack_limit: config.backtrack_limit,
+                ..PodemConfig::default()
             },
         )?;
         let remaining: Vec<_> = faults.undetected().map(|(_, f)| f).collect();

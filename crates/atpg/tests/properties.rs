@@ -347,7 +347,7 @@ proptest! {
             &netlist,
             &constraints,
             &faults,
-            &ProofConfig { backtrack_limit: 10_000, threads: 1 },
+            &ProofConfig { backtrack_limit: 10_000, threads: 1, ..ProofConfig::default() },
         )
         .unwrap();
         let proven: Vec<StuckAt> = faults
@@ -386,6 +386,117 @@ proptest! {
                 fault
             );
         }
+    }
+
+    /// The cone-clipped, SCOAP-guided PODEM engine returns exactly the same
+    /// `ProofOutcome` as the full-netlist engine on random constrained
+    /// netlists: clipping changes no decision, and with a budget generous
+    /// enough that every search concludes, SCOAP's re-ordering cannot change
+    /// a verdict either.
+    #[test]
+    fn clipped_scoap_guided_prove_matches_the_full_netlist_engine(
+        spec in prop::collection::vec(any::<u8>(), 4..20),
+        tie_mask in 0u8..64,
+        tie_values in 0u8..64,
+        output_mask in 0u8..8,
+    ) {
+        let (netlist, inputs, _) = build_circuit(&spec);
+        let mut constraints = ConstraintSet::full_scan();
+        for (i, &net) in inputs.iter().enumerate() {
+            if (tie_mask >> i) & 1 == 1 {
+                constraints.tie_net(net, (tie_values >> i) & 1 == 1);
+            }
+        }
+        for (i, &po) in netlist.primary_outputs().iter().enumerate() {
+            if (output_mask >> i) & 1 == 1 {
+                constraints.mask_output(po);
+            }
+        }
+        let mut accelerated = Podem::new(
+            &netlist,
+            &constraints,
+            PodemConfig {
+                backtrack_limit: 50_000,
+                cone_clip: true,
+                scoap_guidance: true,
+                x_path_check: true,
+            },
+        )
+        .unwrap();
+        // The reference is the pre-acceleration engine: no clipping, no
+        // guidance, no X-path pruning.
+        let mut reference = Podem::new(
+            &netlist,
+            &constraints,
+            PodemConfig {
+                backtrack_limit: 50_000,
+                cone_clip: false,
+                scoap_guidance: false,
+                x_path_check: false,
+            },
+        )
+        .unwrap();
+        for &fault in FaultList::full_universe(&netlist).faults().iter().take(90) {
+            prop_assert_eq!(
+                accelerated.prove(fault),
+                reference.prove(fault),
+                "fault {:?}",
+                fault
+            );
+        }
+    }
+
+    /// Collapse-scheduled proving (one representative per equivalence class,
+    /// concluded verdicts expanded across the class) matches proving every
+    /// class member individually — the soundness of the expansion rule.
+    #[test]
+    fn collapse_expanded_verdicts_match_individual_proofs(
+        spec in prop::collection::vec(any::<u8>(), 4..20),
+        tie_mask in 0u8..64,
+        tie_values in 0u8..64,
+        internal_pick in 0u8..8,
+        internal_value in any::<bool>(),
+        threads in 1usize..4,
+    ) {
+        let (netlist, inputs, internal) = build_circuit(&spec);
+        let mut constraints = ConstraintSet::full_scan();
+        for (i, &net) in inputs.iter().enumerate() {
+            if (tie_mask >> i) & 1 == 1 {
+                constraints.tie_net(net, (tie_values >> i) & 1 == 1);
+            }
+        }
+        // Half the cases also tie a gate-driven internal net: a forced net
+        // masks stem faults but not branch faults, the case the scheduler
+        // must keep out of the shared equivalence classes.
+        if internal_pick < 4 {
+            constraints.tie_net(internal[internal_pick as usize % internal.len()], internal_value);
+        }
+        let faults = FaultList::full_universe(&netlist).faults().to_vec();
+        let scheduled = prove_faults(
+            &netlist,
+            &constraints,
+            &faults,
+            &ProofConfig {
+                backtrack_limit: 50_000,
+                threads,
+                use_collapse: true,
+                ..ProofConfig::default()
+            },
+        )
+        .unwrap();
+        let individual = prove_faults(
+            &netlist,
+            &constraints,
+            &faults,
+            &ProofConfig {
+                backtrack_limit: 50_000,
+                threads: 1,
+                use_collapse: false,
+                ..ProofConfig::default()
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(scheduled, individual);
     }
 
     /// Faults the structural analysis declares untestable are never detected
@@ -506,6 +617,7 @@ fn proof_fanout_chunk_boundaries_match_per_fault_proofs() {
     assert!(faults.len() >= 127, "need at least 127 faults");
     let config = PodemConfig {
         backtrack_limit: 10_000,
+        ..PodemConfig::default()
     };
     let reference: Vec<ProofOutcome> = faults[..127]
         .iter()
@@ -525,6 +637,7 @@ fn proof_fanout_chunk_boundaries_match_per_fault_proofs() {
                 &ProofConfig {
                     backtrack_limit: 10_000,
                     threads,
+                    ..ProofConfig::default()
                 },
             )
             .unwrap();

@@ -1,0 +1,54 @@
+//! Throughput of the cone-clipped, SCOAP-guided, collapse-scheduled proof
+//! stage over the full survivor set of the reduced SoC — the workload behind
+//! the `proof_throughput` section of `BENCH_flow.json` and the third CI
+//! perf-smoke gate.
+//!
+//! The preparation (structural rules + SBST fault simulation, which select
+//! the genuine survivors) runs once outside the measured region; the
+//! measured region is a single-threaded [`atpg::proof::prove_faults`] run
+//! under the mission constraints. The reference run also replays the
+//! pre-acceleration engine (no clipping, no SCOAP, no X-path, no collapse
+//! scheduling) so the speedup per proven fault is printed next to the
+//! committed number.
+
+use bench::ProofCampaign;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn proof_throughput(c: &mut Criterion) {
+    let campaign = ProofCampaign::prepare();
+    println!("survivors               : {}", campaign.survivors());
+
+    // One measured reference run of each engine for the report.
+    let reference = campaign.run_reference_engine();
+    println!(
+        "pre-acceleration engine : {:.3} s, {} proven, {:.3} ms per proven fault",
+        reference.wall_clock.as_secs_f64(),
+        reference.proven,
+        reference.ms_per_proven_fault()
+    );
+    let accelerated = campaign.run();
+    println!(
+        "accelerated engine      : {:.3} s, {} proven, {:.3} ms per proven fault",
+        accelerated.wall_clock.as_secs_f64(),
+        accelerated.proven,
+        accelerated.ms_per_proven_fault()
+    );
+    println!(
+        "speedup                 : {:.2}x wall-clock, {:.2}x per proven fault \
+         (committed numbers in BENCH_flow.json)",
+        reference.wall_clock.as_secs_f64() / accelerated.wall_clock.as_secs_f64(),
+        reference.ms_per_proven_fault() / accelerated.ms_per_proven_fault()
+    );
+
+    let mut group = c.benchmark_group("proof_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(20));
+    group.bench_function("full_survivor_set_small_soc", |b| b.iter(|| campaign.run()));
+    group.finish();
+}
+
+criterion_group!(benches, proof_throughput);
+criterion_main!(benches);

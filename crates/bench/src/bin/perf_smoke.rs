@@ -1,15 +1,19 @@
-//! CI perf-regression gate: replays the two committed performance workloads
-//! in a quick configuration and fails (exit code 1) when the measured
-//! wall-clock regresses past `regression_factor` × the committed number.
+//! CI perf-regression gate: replays the three committed performance
+//! workloads in a quick configuration and fails (exit code 1) when the
+//! measured wall-clock regresses past `regression_factor` × the committed
+//! number.
 //!
 //! * `BENCH_faultsim.json` → the SBST fault-simulation campaign on the
 //!   industrial SoC (`post.campaign_wall_clock_s`);
 //! * `BENCH_flow.json` → the staged identification pipeline on the reduced
-//!   SoC (`measured.flow_wall_clock_s`).
+//!   SoC (`measured.flow_wall_clock_s`);
+//! * `BENCH_flow.json` → the proof stage alone over the full survivor set
+//!   (`proof_throughput.proof_wall_clock_s`).
 //!
 //! Run with `cargo run --release -p bench --bin perf_smoke`. Refresh the
-//! committed numbers by re-running the `fault_sim_throughput` and
-//! `flow_pipeline` benches and editing the JSON files.
+//! committed numbers by re-running the `fault_sim_throughput`,
+//! `flow_pipeline` and `proof_throughput` benches and editing the JSON
+//! files.
 
 use bench::{
     industrial_soc, quick_pipeline_config, read_committed_f64, replay_faultsim_campaign, small_soc,
@@ -108,9 +112,39 @@ fn main() {
         measured_s: flow_elapsed.as_secs_f64(),
     };
 
+    // Gate 3: the proof-stage throughput of BENCH_flow.json's
+    // proof_throughput section — the accelerated engine over the full
+    // survivor set of the reduced SoC. The proven count is checked against
+    // the committed workload first, so an engine that got faster by proving
+    // less (or by upgrading aborts) fails the gate instead of passing it.
+    let campaign = bench::ProofCampaign::prepare();
+    let proof = campaign.run();
+    println!(
+        "proof_throughput        : {} survivors, {} proven, {:.3} s ({:.3} ms per proven fault)",
+        proof.attempted,
+        proof.proven,
+        proof.wall_clock.as_secs_f64(),
+        proof.ms_per_proven_fault()
+    );
+    let committed_proven = read_reference(&flow_json, "proof_throughput", "proven") as usize;
+    if proof.proven != committed_proven {
+        eprintln!(
+            "perf-smoke gate failed: the proof stage proved {} faults but BENCH_flow.json \
+             records {committed_proven} for this exact workload — the engine's verdicts \
+             changed, not just its speed.",
+            proof.proven
+        );
+        std::process::exit(1);
+    }
+    let gate_proof = Gate {
+        name: "proof_throughput",
+        committed_s: read_reference(&flow_json, "proof_throughput", "proof_wall_clock_s"),
+        measured_s: proof.wall_clock.as_secs_f64(),
+    };
+
     println!();
     let mut failed = false;
-    for gate in [gate_faultsim, gate_flow] {
+    for gate in [gate_faultsim, gate_flow, gate_proof] {
         let verdict = if gate.passes(factor) { "PASS" } else { "FAIL" };
         println!(
             "{verdict} {name:<22} measured {measured:.3} s vs committed {committed:.3} s (limit {limit:.3} s)",
@@ -126,8 +160,8 @@ fn main() {
         eprintln!(
             "perf-smoke gate failed: a workload regressed more than {factor:.1}x past its \
              committed wall-clock. If the regression is intentional, re-measure with \
-             `cargo bench -p bench --bench fault_sim_throughput` / `--bench flow_pipeline` \
-             and update BENCH_faultsim.json / BENCH_flow.json."
+             `cargo bench -p bench --bench fault_sim_throughput` / `--bench flow_pipeline` / \
+             `--bench proof_throughput` and update BENCH_faultsim.json / BENCH_flow.json."
         );
         std::process::exit(1);
     }

@@ -8,7 +8,8 @@
 //! (`BENCH_faultsim.json`, `BENCH_flow.json`) and fails when the measured
 //! wall-clock regresses past the committed numbers — the CI perf gate.
 
-use atpg::FaultSim;
+use atpg::proof::{prove_faults, ProofConfig, ProofStats};
+use atpg::{ConstraintSet, FaultSim};
 use cpu::sbst::{standard_suite, suite_stimuli};
 use cpu::soc::{Soc, SocBuilder};
 use faultmodel::{FaultList, StuckAt, UntestableSource};
@@ -37,17 +38,21 @@ pub fn run_flow(soc: &Soc) -> IdentificationReport {
 
 /// The quick full-pipeline configuration used by the `flow_pipeline` bench
 /// and the `perf_smoke` gate: every structural rule, the SBST simulation
-/// stage, and a budgeted PODEM proof stage. The proof stage is pinned to one
-/// worker so the committed wall-clock means the same thing on a 1-core
-/// container and a multi-core CI runner (classifications are thread-invariant
-/// anyway; the multi-threaded path is covered by the flow's own tests).
+/// stage, and the PODEM proof stage over the **entire** surviving undetected
+/// population (no `max_faults` budget — the cone-clipped, SCOAP-guided,
+/// collapse-scheduled engine makes the full survivor set affordable). The
+/// proof stage is pinned to one worker so the committed wall-clock means the
+/// same thing on a 1-core container and a multi-core CI runner
+/// (classifications are thread-invariant anyway; the multi-threaded path is
+/// covered by the flow's own tests).
 pub fn quick_pipeline_config() -> FlowConfig {
     FlowConfig {
         sbst_max_cycles: 2_000,
         proof: ProofStageConfig {
             backtrack_limit: 16,
             threads: 1,
-            max_faults: Some(2_000),
+            max_faults: None,
+            ..ProofStageConfig::default()
         },
         ..FlowConfig::full_pipeline()
     }
@@ -132,6 +137,105 @@ impl<'a> FaultsimCampaign<'a> {
 /// One-shot convenience over [`FaultsimCampaign`].
 pub fn replay_faultsim_campaign(soc: &Soc, sample_size: usize, seed: u64) -> CampaignResult {
     FaultsimCampaign::prepare(soc, sample_size, seed).run()
+}
+
+/// Result of one proof-stage replay (the `proof_throughput` section of
+/// `BENCH_flow.json`).
+#[derive(Clone, Debug)]
+pub struct ProofResult {
+    /// Wall-clock of the proof run itself.
+    pub wall_clock: Duration,
+    /// Survivors attacked.
+    pub attempted: usize,
+    /// Faults proven untestable.
+    pub proven: usize,
+    /// Searches that ran out of backtrack budget.
+    pub aborted: usize,
+}
+
+impl ProofResult {
+    /// The headline throughput metric: milliseconds of proof-stage
+    /// wall-clock per *proven* fault.
+    pub fn ms_per_proven_fault(&self) -> f64 {
+        self.wall_clock.as_secs_f64() * 1e3 / self.proven.max(1) as f64
+    }
+}
+
+/// The committed proof-stage workload behind the `proof_throughput` bench
+/// and the third `perf_smoke` gate: the staged pipeline on the reduced SoC
+/// is run up to (and including) the SBST simulation once, outside the
+/// measured region; the measured region is a single-threaded
+/// [`prove_faults`] over the **full** survivor set under the mission
+/// constraints — the same worklist and engine configuration the
+/// `BENCH_flow.json` pipeline's `atpg-proof` stage uses.
+pub struct ProofCampaign {
+    soc: Soc,
+    faults: Vec<StuckAt>,
+    constraints: ConstraintSet,
+}
+
+impl ProofCampaign {
+    /// Prepares the campaign (screens and simulates the reduced SoC so only
+    /// genuine survivors reach the measured proof run).
+    pub fn prepare() -> Self {
+        let soc = small_soc();
+        let mut config = quick_pipeline_config();
+        config.run_atpg_proof = false;
+        let flow = IdentificationFlow::new(config);
+        let (_, master) = flow.run_with_faults(&soc).expect("identification flow");
+        let faults: Vec<StuckAt> = master.undetected().map(|(_, f)| f).collect();
+        let constraints = flow.mission_constraints(&soc).expect("mission constraints");
+        ProofCampaign {
+            soc,
+            faults,
+            constraints,
+        }
+    }
+
+    /// Survivors in the proof worklist.
+    pub fn survivors(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Runs the proof stage once with the accelerated engine (cone clipping,
+    /// SCOAP guidance, X-path pruning, collapse scheduling — the committed
+    /// configuration), timing only the proof run itself.
+    pub fn run(&self) -> ProofResult {
+        self.run_with(ProofConfig {
+            backtrack_limit: 16,
+            threads: 1,
+            ..ProofConfig::default()
+        })
+    }
+
+    /// Runs the same worklist on the pre-acceleration reference engine (the
+    /// exact pre-PR configuration: whole-netlist simulation per decision, no
+    /// guidance, no pruning, no collapse scheduling) — the baseline of the
+    /// committed speedup figure.
+    pub fn run_reference_engine(&self) -> ProofResult {
+        self.run_with(ProofConfig {
+            backtrack_limit: 16,
+            threads: 1,
+            use_collapse: false,
+            cone_clip: false,
+            use_scoap: false,
+            use_x_path: false,
+        })
+    }
+
+    fn run_with(&self, config: ProofConfig) -> ProofResult {
+        let start = Instant::now();
+        let outcomes = prove_faults(&self.soc.netlist, &self.constraints, &self.faults, &config)
+            .expect("proof run");
+        let wall_clock = start.elapsed();
+        let stats = ProofStats::from_outcomes(&outcomes);
+        ProofResult {
+            wall_clock,
+            attempted: stats.attempted,
+            proven: stats.proven_untestable,
+            aborted: stats.aborted,
+        }
+    }
 }
 
 /// Extracts the number recorded for `"key"` inside the object labelled

@@ -42,6 +42,11 @@ pub enum DiscoveryMode {
 }
 
 /// Configuration of the PODEM proof stage.
+///
+/// The default proves the **entire** surviving undetected population — the
+/// three per-fault reductions (cone clipping, SCOAP guidance and
+/// collapse-scheduling, all on by default) make the full survivor set
+/// affordable, so `max_faults` is a debugging aid rather than a necessity.
 #[derive(Clone, Debug)]
 pub struct ProofStageConfig {
     /// Backtrack budget per fault; exhausted searches stay unclassified.
@@ -50,8 +55,24 @@ pub struct ProofStageConfig {
     /// value produces identical classifications.
     pub threads: usize,
     /// Upper bound on the number of surviving undetected faults handed to
-    /// PODEM (in fault-universe order); `None` proves the whole population.
+    /// PODEM; `None` (the default) proves the whole population. Survivors
+    /// are taken in fault-universe order unless `sample_seed` is set.
     pub max_faults: Option<usize>,
+    /// When `max_faults` truncates the population, shuffle the survivors
+    /// first with this deterministic seed so the slice is a representative
+    /// sample instead of a universe-order prefix. `None` keeps the prefix.
+    pub sample_seed: Option<u64>,
+    /// Prove one representative per structural equivalence class and expand
+    /// concluded verdicts across the class (aborts never expand).
+    pub use_collapse: bool,
+    /// Clip every PODEM search to the fault's cones (faulty simulation over
+    /// the fanout cone, incremental good machine).
+    pub cone_clip: bool,
+    /// Steer the PODEM searches with SCOAP testability measures.
+    pub use_scoap: bool,
+    /// Prune hopeless branches with the X-path check. Turning all four
+    /// toggles off reproduces the pre-acceleration proof stage exactly.
+    pub use_x_path: bool,
 }
 
 impl Default for ProofStageConfig {
@@ -60,6 +81,11 @@ impl Default for ProofStageConfig {
             backtrack_limit: 32,
             threads: 0,
             max_faults: None,
+            sample_seed: None,
+            use_collapse: true,
+            cone_clip: true,
+            use_scoap: true,
+            use_x_path: true,
         }
     }
 }
@@ -69,6 +95,10 @@ impl ProofStageConfig {
         ProofConfig {
             backtrack_limit: self.backtrack_limit,
             threads: self.threads,
+            use_collapse: self.use_collapse,
+            cone_clip: self.cone_clip,
+            use_scoap: self.use_scoap,
+            use_x_path: self.use_x_path,
         }
     }
 }
@@ -158,6 +188,24 @@ impl fmt::Display for FlowError {
 }
 
 impl std::error::Error for FlowError {}
+
+/// Seeded Fisher–Yates shuffle over a slice, with a splitmix64 generator so
+/// the proof-stage sampling needs no RNG dependency and is reproducible
+/// across platforms.
+fn deterministic_shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
 
 /// The on-line functionally untestable fault identification flow.
 #[derive(Clone, Debug, Default)]
@@ -391,6 +439,9 @@ impl IdentificationFlow {
         let constraints = self.mission_constraints_from(ctx.soc, &tied);
         let mut survivors: Vec<(usize, StuckAt)> = ctx.master.undetected().collect();
         if let Some(cap) = self.config.proof.max_faults {
+            if let Some(seed) = self.config.proof.sample_seed {
+                deterministic_shuffle(&mut survivors, seed);
+            }
             survivors.truncate(cap);
         }
         let faults: Vec<StuckAt> = survivors.iter().map(|&(_, f)| f).collect();
@@ -570,6 +621,7 @@ mod tests {
                 backtrack_limit: 8,
                 threads: 1,
                 max_faults: Some(1_500),
+                ..ProofStageConfig::default()
             },
             ..FlowConfig::full_pipeline()
         }
@@ -775,6 +827,76 @@ mod tests {
             report.count_for(UntestableSource::AtpgProof) <= 40,
             "{report}"
         );
+    }
+
+    #[test]
+    fn accelerations_do_not_change_the_proof_bucket() {
+        // Cone clipping changes no decision and collapse expansion is sound,
+        // so switching both off must classify identically fault-by-fault
+        // (SCOAP stays off on both sides: it may legitimately move the abort
+        // boundary under a finite backtrack budget).
+        let soc = micro_soc();
+        let accelerated = FlowConfig {
+            proof: ProofStageConfig {
+                use_scoap: false,
+                ..micro_pipeline_config().proof
+            },
+            ..micro_pipeline_config()
+        };
+        let plain = FlowConfig {
+            proof: ProofStageConfig {
+                use_collapse: false,
+                cone_clip: false,
+                use_scoap: false,
+                ..micro_pipeline_config().proof
+            },
+            ..micro_pipeline_config()
+        };
+        let fast = IdentificationFlow::new(accelerated)
+            .run_with_faults(&soc)
+            .unwrap();
+        let slow = IdentificationFlow::new(plain)
+            .run_with_faults(&soc)
+            .unwrap();
+        assert_eq!(fast.0.counts, slow.0.counts);
+        for ((f1, c1), (f2, c2)) in fast.1.iter().zip(slow.1.iter()) {
+            assert_eq!(f1, f2);
+            assert_eq!(c1, c2, "{f1:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_proof_sampling_is_deterministic_and_respects_the_cap() {
+        let soc = micro_soc();
+        let sampled = |seed: u64| FlowConfig {
+            proof: ProofStageConfig {
+                max_faults: Some(40),
+                sample_seed: Some(seed),
+                ..micro_pipeline_config().proof
+            },
+            ..micro_pipeline_config()
+        };
+        let a = IdentificationFlow::new(sampled(7)).run(&soc).unwrap();
+        let b = IdentificationFlow::new(sampled(7)).run(&soc).unwrap();
+        assert_eq!(a.counts, b.counts, "same seed, same sample, same result");
+        assert!(a.count_for(UntestableSource::AtpgProof) <= 40, "{a}");
+        // A different seed draws a different sample of the same survivors;
+        // the stage still runs and the cap still holds.
+        let c = IdentificationFlow::new(sampled(8)).run(&soc).unwrap();
+        assert!(c.count_for(UntestableSource::AtpgProof) <= 40, "{c}");
+    }
+
+    #[test]
+    fn deterministic_shuffle_is_a_permutation() {
+        let mut items: Vec<usize> = (0..100).collect();
+        deterministic_shuffle(&mut items, 42);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(items, sorted, "a 100-element shuffle should move something");
+        let mut again: Vec<usize> = (0..100).collect();
+        deterministic_shuffle(&mut again, 42);
+        assert_eq!(items, again, "same seed, same permutation");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! expressed on the uncollapsed universe.
 
 use crate::{FaultList, FaultSite, StuckAt};
-use netlist::{CellKind, Netlist};
+use netlist::{CellKind, NetId, Netlist};
 
 /// Union-find over fault indices.
 #[derive(Clone, Debug)]
@@ -100,6 +100,25 @@ impl CollapsedFaults {
 /// Faults in the list that refer to cells outside the netlist are left in
 /// singleton classes.
 pub fn collapse(netlist: &Netlist, list: &FaultList) -> CollapsedFaults {
+    collapse_with_barriers(netlist, list, |_| false)
+}
+
+/// [`collapse`] with *stem/branch barriers*: nets for which `barrier`
+/// returns true never contribute a rule-2 (fanout-free stem/branch) union.
+///
+/// This is the form an environment-aware consumer needs: under a constraint
+/// set that forces a gate-driven net to a constant, the net's stem fault is
+/// masked (gates never overwrite a forced net) while the branch fault still
+/// injects at the load's pin read — the two are structurally "equivalent"
+/// but behave differently, so the union across the net must not be made.
+/// Rule-1 (gate-local) unions stay valid on barrier nets: a forced gate
+/// output masks the gate's input-pin faults and its output fault alike, so
+/// those remain genuinely equivalent.
+pub fn collapse_with_barriers(
+    netlist: &Netlist,
+    list: &FaultList,
+    barrier: impl Fn(NetId) -> bool,
+) -> CollapsedFaults {
     let mut uf = UnionFind::new(list.len());
 
     let fault_index = |fault: StuckAt| list.index_of(fault);
@@ -136,6 +155,9 @@ pub fn collapse(netlist: &Netlist, list: &FaultList) -> CollapsedFaults {
 
     // Rule 2: fanout-free stem/branch equivalence.
     for net in netlist.net_ids() {
+        if barrier(net) {
+            continue;
+        }
         let loads = netlist.loads_of(net);
         let live_loads: Vec<_> = loads
             .iter()

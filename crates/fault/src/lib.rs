@@ -35,7 +35,7 @@ mod report;
 mod site;
 
 pub use class::{FaultClass, UntestableSource};
-pub use collapse::{collapse, CollapsedFaults};
+pub use collapse::{collapse, collapse_with_barriers, CollapsedFaults};
 pub use list::FaultList;
 pub use report::{ClassCounts, SummaryRow, UntestableSummary};
 pub use site::{FaultSite, StuckAt};

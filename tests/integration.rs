@@ -112,6 +112,7 @@ fn staged_pipeline_proof_verdicts_survive_a_longer_sbst_campaign() {
             backtrack_limit: 8,
             threads: 0,
             max_faults: Some(1_500),
+            ..ProofStageConfig::default()
         },
         ..FlowConfig::full_pipeline()
     };
