@@ -1,0 +1,88 @@
+//! Wall-clock of the netlist frontends: parse + design-rule validation of
+//! the largest committed `.bench` circuit, plus a write→parse round-trip of
+//! the industrial SoC through the structural Verilog frontend — the two
+//! ingestion paths a serving-scale identification service would sit behind.
+
+use bench::industrial_soc;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netlist::frontend::{parse_netlist, Format};
+use netlist::stats::stats;
+use netlist::validate::{validate, ValidateOptions};
+use netlist::verilog::write_verilog;
+use std::time::{Duration, Instant};
+
+fn largest_committed_circuit() -> (String, String) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../circuits");
+    let mut largest: Option<(u64, String, String)> = None;
+    for entry in std::fs::read_dir(&dir).expect("circuits/ exists") {
+        let path = entry.expect("read_dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("bench") {
+            continue;
+        }
+        let len = path.metadata().expect("metadata").len();
+        if largest.as_ref().is_none_or(|(l, _, _)| len > *l) {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("read circuit");
+            largest = Some((len, name, text));
+        }
+    }
+    let (_, name, text) = largest.expect("at least one committed .bench circuit");
+    (name, text)
+}
+
+fn parse_and_validate(text: &str, format: Format) -> netlist::Netlist {
+    let netlist = parse_netlist(text, format).expect("committed circuit parses");
+    let issues = validate(&netlist, ValidateOptions::default());
+    assert!(issues.is_empty(), "{issues:?}");
+    netlist
+}
+
+fn frontend_throughput(c: &mut Criterion) {
+    let (name, text) = largest_committed_circuit();
+    let netlist = parse_and_validate(&text, Format::Bench);
+    let s = stats(&netlist);
+
+    // One measured reference run for the report.
+    let start = Instant::now();
+    let runs = 200;
+    for _ in 0..runs {
+        black_box(parse_and_validate(&text, Format::Bench));
+    }
+    let per_parse = start.elapsed() / runs;
+    println!("largest committed circuit : {name}");
+    println!(
+        "size                      : {} cells, {} nets, {} bytes of text",
+        netlist.num_cells(),
+        netlist.num_nets(),
+        text.len()
+    );
+    println!(
+        "parse+validate            : {:.3} ms ({:.1} Mcells/s)",
+        per_parse.as_secs_f64() * 1e3,
+        s.combinational_cells as f64 / per_parse.as_secs_f64() / 1e6
+    );
+
+    let soc = industrial_soc();
+    let soc_text = write_verilog(&soc.netlist);
+    println!(
+        "industrial SoC Verilog    : {} cells, {} bytes of text",
+        soc.netlist.num_cells(),
+        soc_text.len()
+    );
+
+    let mut group = c.benchmark_group("netlist_frontend_throughput");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function(format!("bench_parse_validate_{name}"), |b| {
+        b.iter(|| parse_and_validate(black_box(&text), Format::Bench))
+    });
+    group.bench_function("verilog_parse_validate_industrial_soc", |b| {
+        b.iter(|| parse_and_validate(black_box(&soc_text), Format::Verilog))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, frontend_throughput);
+criterion_main!(benches);

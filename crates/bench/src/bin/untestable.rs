@@ -1,0 +1,221 @@
+//! `untestable` — the generic identification-pipeline driver.
+//!
+//! Loads a gate-level circuit in any supported frontend format (`.bench`,
+//! structural Verilog, EDIF subset), optionally binds a mission-constraint
+//! specification (forced nets / masked observation points), and runs the
+//! staged identification pipeline: baseline structural screen, the
+//! constraint screening rules, and the multi-threaded constraint-aware PODEM
+//! proof stage. Prints the per-stage report and a classification summary.
+//!
+//! ```console
+//! $ untestable circuits/synth_c432.bench --constraints circuits/synth_c432.mission
+//! $ untestable circuits/s27.bench --threads 4 --backtrack 64
+//! $ untestable design.edif --format edif --no-proof
+//! ```
+
+use netlist::frontend::{load_netlist, Format};
+use netlist::stats::stats;
+use online_untestable::design::{ConstraintSpec, NetlistDesign};
+use online_untestable::flow::{FlowConfig, IdentificationFlow, ProofStageConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: untestable <circuit> [options]
+
+Identify on-line functionally untestable stuck-at faults in a gate-level
+circuit: structural screen, constraint screening rules, and a constraint-aware
+PODEM proof stage over every surviving fault.
+
+arguments:
+  <circuit>             netlist file: .bench (ISCAS-85/89), .v (structural
+                        Verilog) or .edif (structural EDIF subset)
+
+options:
+  --format <name>       override the format inferred from the extension
+                        (bench | verilog | edif)
+  --constraints <file>  mission-constraint spec: `force <net> <0|1>` and
+                        `mask <output>` lines, `#` comments
+  --threads <n>         proof-stage worker threads (default: all cores;
+                        classifications are thread-invariant)
+  --backtrack <n>       PODEM backtrack budget per fault (default 32)
+  --max-proof <n>       cap the proof worklist at n survivors (default: all)
+  --seed <s>            sample the capped worklist with this seed instead of
+                        taking a prefix (only with --max-proof)
+  --no-proof            structural screen only, skip the PODEM proof stage
+  -h, --help            this message";
+
+struct Options {
+    circuit: String,
+    format: Option<Format>,
+    constraints: Option<String>,
+    threads: usize,
+    backtrack: usize,
+    max_proof: Option<usize>,
+    seed: Option<u64>,
+    proof: bool,
+}
+
+/// `Ok(None)` means `-h`/`--help` was requested: print usage to stdout and
+/// exit successfully.
+fn parse_options() -> Result<Option<Options>, String> {
+    let mut options = Options {
+        circuit: String::new(),
+        format: None,
+        constraints: None,
+        threads: 0,
+        backtrack: 32,
+        max_proof: None,
+        seed: None,
+        proof: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--format" => {
+                let name = value("--format")?;
+                options.format = Some(Format::from_name(&name).ok_or_else(|| {
+                    format!("unknown format `{name}` (expected bench, verilog or edif)")
+                })?);
+            }
+            "--constraints" => options.constraints = Some(value("--constraints")?),
+            "--threads" => {
+                options.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--backtrack" => {
+                options.backtrack = value("--backtrack")?
+                    .parse()
+                    .map_err(|e| format!("--backtrack: {e}"))?
+            }
+            "--max-proof" => {
+                options.max_proof = Some(
+                    value("--max-proof")?
+                        .parse()
+                        .map_err(|e| format!("--max-proof: {e}"))?,
+                )
+            }
+            "--seed" => {
+                options.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--no-proof" => options.proof = false,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n\n{USAGE}"))
+            }
+            positional if options.circuit.is_empty() => options.circuit = positional.to_string(),
+            extra => return Err(format!("unexpected argument `{extra}`\n\n{USAGE}")),
+        }
+    }
+    if options.circuit.is_empty() {
+        return Err(format!("missing circuit file\n\n{USAGE}"));
+    }
+    Ok(Some(options))
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let format = options
+        .format
+        .or_else(|| Format::from_path(options.circuit.as_ref()))
+        .ok_or_else(|| {
+            format!(
+                "cannot infer a format for `{}`; pass --format bench|verilog|edif",
+                options.circuit
+            )
+        })?;
+    let netlist = load_netlist(&options.circuit, Some(format)).map_err(|e| e.to_string())?;
+    let s = stats(&netlist);
+    println!("circuit        : {} ({})", netlist.name(), options.circuit);
+    println!("format         : {format}");
+    println!(
+        "size           : {} gates, {} flip-flops, {} PIs, {} POs, {} stuck-at faults",
+        s.combinational_cells,
+        s.flip_flops + s.scan_flip_flops,
+        s.primary_inputs,
+        s.primary_outputs,
+        s.stuck_at_faults()
+    );
+
+    let design = match &options.constraints {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read constraint spec `{path}`: {e}"))?;
+            let spec = ConstraintSpec::parse(&text)
+                .map_err(|e| format!("constraint spec `{path}`: {e}"))?;
+            let design = NetlistDesign::with_constraints(netlist, &spec)
+                .map_err(|e| format!("constraint spec `{path}`: {e}"))?;
+            println!(
+                "constraints    : {} forced net(s), {} masked output(s) from {path}",
+                design.forced_nets().len(),
+                design.masked_outputs().len()
+            );
+            design
+        }
+        None => {
+            println!("constraints    : none (structural screen + unconstrained proof)");
+            NetlistDesign::new(netlist)
+        }
+    };
+
+    let config = FlowConfig {
+        run_atpg_proof: options.proof,
+        proof: ProofStageConfig {
+            backtrack_limit: options.backtrack,
+            threads: options.threads,
+            max_faults: options.max_proof,
+            sample_seed: options.seed,
+            ..ProofStageConfig::default()
+        },
+        ..FlowConfig::full_pipeline()
+    };
+    let report = IdentificationFlow::new(config)
+        .run(&design)
+        .map_err(|e| format!("identification flow: {e}"))?;
+    println!();
+    println!("{report}");
+
+    let untestable = report.baseline_structural + report.total_untestable();
+    println!();
+    println!("classification summary");
+    println!("  fault universe        : {}", report.total_faults);
+    println!("  untestable (total)    : {untestable}");
+    println!(
+        "  on-line untestable    : {} ({:.1}% of the universe)",
+        report.total_untestable(),
+        report.untestable_fraction() * 100.0
+    );
+    println!(
+        "  proven by PODEM       : {}",
+        report.count_for(faultmodel::UntestableSource::AtpgProof)
+    );
+    println!("  still unclassified    : {}", report.counts.undetected);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("untestable: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

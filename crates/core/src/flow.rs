@@ -1,17 +1,22 @@
 //! The end-to-end identification pipeline: baseline structural analysis, the
 //! four on-line untestability rules, compiled-engine fault simulation of the
-//! SBST suite, and the constraint-aware PODEM proof stage — the automated
-//! counterpart of the full procedure summarised in §4 (search for sources,
-//! manipulate the circuit, screen out the untestable faults, and *prove* what
-//! the structural screen alone cannot).
+//! functional stimuli, and the constraint-aware PODEM proof stage — the
+//! automated counterpart of the full procedure summarised in §4 (search for
+//! sources, manipulate the circuit, screen out the untestable faults, and
+//! *prove* what the structural screen alone cannot).
 //!
-//! The pipeline is staged: every stage consumes the faults the previous
-//! stages left unclassified and records its fault-count delta and wall-clock
-//! in the [`IdentificationReport`]. The expensive final stage (PODEM proofs
-//! over the surviving undetected faults) fans out across scoped worker
-//! threads via [`atpg::proof`]; its classifications are identical for any
-//! thread count.
+//! The pipeline runs against any [`Design`] — the full SoC case study or a
+//! bare circuit loaded through [`netlist::frontend`]. Every stage consumes
+//! the faults the previous stages left unclassified and records its
+//! fault-count delta and wall-clock in the [`IdentificationReport`]. Stages
+//! whose prerequisite the design cannot provide (no scan structure, no
+//! memory map, no stimuli, …) are skipped, so a pure netlist degrades to the
+//! *screen + proof* pipeline while the SoC runs all seven stages. The
+//! expensive final stage (PODEM proofs over the surviving undetected faults)
+//! fans out across scoped worker threads via [`atpg::proof`]; its
+//! classifications are identical for any thread count.
 
+use crate::design::Design;
 use crate::report::{IdentificationReport, PhaseResult};
 use crate::rules::{
     analyse_manipulation, debug_control_manipulation, debug_observation_manipulation,
@@ -21,11 +26,9 @@ use crate::toggle::analyze_toggles;
 use atpg::analysis::{AnalysisConfig, StructuralAnalysis};
 use atpg::proof::{prove_faults, ProofConfig};
 use atpg::{ConstraintSet, FaultSim, InputVector, ProofOutcome};
-use cpu::sbst::{program_stimuli, standard_suite, suite_stimuli};
-use cpu::soc::Soc;
 use dft::trace::{find_scan_in_ports, trace_scan_chains};
 use faultmodel::{FaultClass, FaultList, StuckAt, UntestableSource};
-use netlist::{CellId, CellKind, NetId};
+use netlist::NetId;
 use std::fmt;
 use std::time::Instant;
 
@@ -213,16 +216,41 @@ pub struct IdentificationFlow {
     config: FlowConfig,
 }
 
+/// The design's per-run capability snapshot, gathered once — the accessors
+/// may walk the whole netlist (e.g. address-register discovery), so the
+/// stage gates, the stages themselves and the mission constraints all share
+/// one copy.
+struct DesignSpecs {
+    scan: Option<crate::design::ScanSpec>,
+    memory_map: Option<crate::design::MemoryMapSpec>,
+    observation: Vec<netlist::CellId>,
+    /// The specification-declared control inputs (the discovery machinery
+    /// may replace these with toggle-analysis results).
+    control: Vec<(NetId, bool)>,
+}
+
+impl DesignSpecs {
+    fn gather(design: &dyn Design) -> Self {
+        DesignSpecs {
+            scan: design.scan_spec(),
+            memory_map: design.memory_map_spec(),
+            observation: design.observation_outputs(),
+            control: design.control_inputs(),
+        }
+    }
+}
+
 /// Mutable state threaded through the pipeline stages.
 struct StageContext<'a> {
-    soc: &'a Soc,
+    design: &'a dyn Design,
+    specs: DesignSpecs,
     master: FaultList,
     phases: Vec<PhaseResult>,
     baseline_structural: usize,
     /// Discovered tied control inputs, computed at most once per run — under
     /// [`DiscoveryMode::ToggleAnalysis`] discovery means simulating the whole
-    /// SBST suite, which the debug-control stage and the proof stage would
-    /// otherwise both pay for.
+    /// stimulus suite, which the debug-control stage and the proof stage
+    /// would otherwise both pay for.
     tied_inputs: Option<Vec<(NetId, bool)>>,
 }
 
@@ -262,23 +290,35 @@ impl IdentificationFlow {
     /// # Errors
     ///
     /// See [`FlowError`].
-    pub fn run(&self, soc: &Soc) -> Result<IdentificationReport, FlowError> {
-        self.run_with_faults(soc).map(|(report, _)| report)
+    pub fn run<D: Design>(&self, design: &D) -> Result<IdentificationReport, FlowError> {
+        self.run_with_faults(design).map(|(report, _)| report)
     }
 
     /// Runs the staged pipeline and returns both the report and the fully
     /// classified master fault list (useful for subsequent coverage grading).
     ///
+    /// Stages whose prerequisite `design` does not provide — scan structure,
+    /// control inputs, observation outputs, memory map, stimuli — are
+    /// skipped and leave no phase entry.
+    ///
     /// # Errors
     ///
     /// See [`FlowError`].
-    pub fn run_with_faults(
+    pub fn run_with_faults<D: Design>(
         &self,
-        soc: &Soc,
+        design: &D,
+    ) -> Result<(IdentificationReport, FaultList), FlowError> {
+        self.run_design(design)
+    }
+
+    fn run_design(
+        &self,
+        design: &dyn Design,
     ) -> Result<(IdentificationReport, FaultList), FlowError> {
         let mut ctx = StageContext {
-            soc,
-            master: FaultList::full_universe(&soc.netlist),
+            design,
+            specs: DesignSpecs::gather(design),
+            master: FaultList::full_universe(design.netlist()),
             phases: Vec::new(),
             baseline_structural: 0,
             tied_inputs: None,
@@ -288,21 +328,35 @@ impl IdentificationFlow {
         if self.config.classify_baseline {
             ctx.record("baseline", |ctx| self.stage_baseline(ctx))?;
         }
-        // Stages 1–4: the §3 screening rules on the manipulated circuit.
-        if self.config.run_scan {
+        // Stages 1–4: the §3 screening rules on the manipulated circuit,
+        // each gated on the design actually having that structure. The
+        // debug-control gate passes when the design declares control inputs
+        // or when toggle-analysis discovery has stimuli to derive them from;
+        // a design with neither skips the stage under every discovery mode.
+        if self.config.run_scan && ctx.specs.scan.is_some() {
             ctx.record("scan", |ctx| self.stage_scan(ctx))?;
         }
-        if self.config.run_debug_control {
+        if self.config.run_debug_control
+            && (!ctx.specs.control.is_empty()
+                || (self.config.discovery == DiscoveryMode::ToggleAnalysis
+                    && design.provides_stimuli()))
+        {
             ctx.record("debug-control", |ctx| self.stage_debug_control(ctx))?;
         }
-        if self.config.run_debug_observation {
+        if self.config.run_debug_observation && !ctx.specs.observation.is_empty() {
             ctx.record("debug-observe", |ctx| self.stage_debug_observation(ctx))?;
         }
-        if self.config.run_memory_map {
+        if self.config.run_memory_map
+            && ctx
+                .specs
+                .memory_map
+                .as_ref()
+                .is_some_and(|spec| !spec.address_registers.is_empty())
+        {
             ctx.record("memory-map", |ctx| self.stage_memory_map(ctx))?;
         }
-        // Stage 5: drop everything the SBST suite actually detects.
-        if self.config.run_sbst_simulation {
+        // Stage 5: drop everything the functional stimuli actually detect.
+        if self.config.run_sbst_simulation && design.provides_stimuli() {
             ctx.record("sbst-sim", |ctx| self.stage_sbst_simulation(ctx))?;
         }
         // Stage 6: prove untestability of the survivors under the mission
@@ -312,7 +366,7 @@ impl IdentificationFlow {
         }
 
         let report = IdentificationReport {
-            design: soc.netlist.name().to_string(),
+            design: design.netlist().name().to_string(),
             total_faults: ctx.master.len(),
             baseline_structural: ctx.baseline_structural,
             phases: ctx.phases,
@@ -331,7 +385,7 @@ impl IdentificationFlow {
             prove_redundancy: self.config.prove_redundancy,
             ..AnalysisConfig::default()
         })
-        .run(&ctx.soc.netlist, &mut ctx.master)
+        .run(ctx.design.netlist(), &mut ctx.master)
         .map_err(|e| FlowError::Analysis(e.to_string()))?;
         ctx.baseline_structural = outcome.total_untestable();
         Ok(ctx.baseline_structural)
@@ -339,15 +393,12 @@ impl IdentificationFlow {
 
     /// Phase 1: scan circuitry (§3.1).
     fn stage_scan(&self, ctx: &mut StageContext<'_>) -> Result<usize, FlowError> {
-        let netlist = &ctx.soc.netlist;
-        let ports = find_scan_in_ports(netlist, &ctx.soc.config.scan.scan_in_prefix);
-        let trace = trace_scan_chains(netlist, &ports, &ctx.soc.config.scan.scan_out_prefix)
+        let spec = ctx.specs.scan.as_ref().expect("stage gated on the spec");
+        let netlist = ctx.design.netlist();
+        let ports = find_scan_in_ports(netlist, &spec.scan_in_prefix);
+        let trace = trace_scan_chains(netlist, &ports, &spec.scan_out_prefix)
             .map_err(|e| FlowError::ScanTrace(e.to_string()))?;
-        let result = scan_rule(
-            netlist,
-            &trace,
-            ctx.soc.config.scan.mission_scan_enable_value,
-        );
+        let result = scan_rule(netlist, &trace, spec.mission_scan_enable_value);
         let mut newly = 0usize;
         for fault in result.untestable {
             if ctx
@@ -360,12 +411,13 @@ impl IdentificationFlow {
         Ok(newly)
     }
 
-    /// Phase 2: debug control logic (§3.2.1).
+    /// Phase 2: debug control logic (§3.2.1) — for generic designs, the
+    /// spec-forced nets take the role of the tied-off control inputs.
     fn stage_debug_control(&self, ctx: &mut StageContext<'_>) -> Result<usize, FlowError> {
         let tied = self.control_inputs_cached(ctx)?;
         let manipulation = debug_control_manipulation(&tied);
         let (analysed, _) = analyse_manipulation(
-            &ctx.soc.netlist,
+            ctx.design.netlist(),
             &manipulation,
             self.config.prove_redundancy,
         )
@@ -377,12 +429,12 @@ impl IdentificationFlow {
         }))
     }
 
-    /// Phase 3: debug observation logic (§3.2.2).
+    /// Phase 3: debug observation logic (§3.2.2) — for generic designs, the
+    /// spec-masked observation points.
     fn stage_debug_observation(&self, ctx: &mut StageContext<'_>) -> Result<usize, FlowError> {
-        let outputs = self.observation_outputs(ctx.soc);
-        let manipulation = debug_observation_manipulation(&outputs);
+        let manipulation = debug_observation_manipulation(&ctx.specs.observation);
         let (analysed, _) = analyse_manipulation(
-            &ctx.soc.netlist,
+            ctx.design.netlist(),
             &manipulation,
             self.config.prove_redundancy,
         )
@@ -398,10 +450,15 @@ impl IdentificationFlow {
 
     /// Phase 4: memory map (§3.3).
     fn stage_memory_map(&self, ctx: &mut StageContext<'_>) -> Result<usize, FlowError> {
-        let regs = ctx.soc.address_registers();
-        let manipulation = memory_map_manipulation(&ctx.soc.netlist, &regs, &ctx.soc.memory_map);
+        let spec = ctx
+            .specs
+            .memory_map
+            .as_ref()
+            .expect("stage gated on the spec");
+        let manipulation =
+            memory_map_manipulation(ctx.design.netlist(), &spec.address_registers, &spec.map);
         let (analysed, _) = analyse_manipulation(
-            &ctx.soc.netlist,
+            ctx.design.netlist(),
             &manipulation,
             self.config.prove_redundancy,
         )
@@ -413,20 +470,27 @@ impl IdentificationFlow {
         }))
     }
 
-    /// Phase 5: compiled-engine fault simulation of the SBST suite, observing
-    /// only the system bus — faults the suite detects are dropped before the
-    /// expensive proof stage.
+    /// Phase 5: compiled-engine fault simulation of the design's functional
+    /// stimuli (the SBST suite on the SoC), observing only the
+    /// mission-visible outputs — faults the stimuli detect are dropped
+    /// before the expensive proof stage.
     fn stage_sbst_simulation(&self, ctx: &mut StageContext<'_>) -> Result<usize, FlowError> {
-        let suite = standard_suite();
-        let stimuli = suite_stimuli(&suite, &ctx.soc.interface, self.config.sbst_max_cycles);
+        // `Design` is a public extension point, so a provides_stimuli /
+        // stimuli disagreement is surfaced as an error, not a panic.
+        let stimuli = ctx
+            .design
+            .stimuli(self.config.sbst_max_cycles)
+            .ok_or_else(|| {
+                FlowError::Analysis(
+                    "design advertises stimuli (provides_stimuli) but stimuli() returned none"
+                        .to_string(),
+                )
+            })?;
         let sim =
-            FaultSim::new(&ctx.soc.netlist).map_err(|e| FlowError::Analysis(e.to_string()))?;
-        let batches: Vec<&[InputVector]> = stimuli.iter().map(|s| s.vectors.as_slice()).collect();
-        let outcome = sim.run_batches_and_classify(
-            &mut ctx.master,
-            &batches,
-            &ctx.soc.interface.bus_output_ports,
-        );
+            FaultSim::new(ctx.design.netlist()).map_err(|e| FlowError::Analysis(e.to_string()))?;
+        let batches: Vec<&[InputVector]> = stimuli.batches.iter().map(|b| b.as_slice()).collect();
+        let outcome =
+            sim.run_batches_and_classify(&mut ctx.master, &batches, &stimuli.observed_outputs);
         Ok(outcome.detected)
     }
 
@@ -436,7 +500,7 @@ impl IdentificationFlow {
     /// their fault unclassified.
     fn stage_atpg_proof(&self, ctx: &mut StageContext<'_>) -> Result<usize, FlowError> {
         let tied = self.control_inputs_cached(ctx)?;
-        let constraints = self.mission_constraints_from(ctx.soc, &tied);
+        let constraints = self.mission_constraints_from(ctx.design, &ctx.specs, &tied);
         let mut survivors: Vec<(usize, StuckAt)> = ctx.master.undetected().collect();
         if let Some(cap) = self.config.proof.max_faults {
             if let Some(seed) = self.config.proof.sample_seed {
@@ -446,7 +510,7 @@ impl IdentificationFlow {
         }
         let faults: Vec<StuckAt> = survivors.iter().map(|&(_, f)| f).collect();
         let outcomes = prove_faults(
-            &ctx.soc.netlist,
+            ctx.design.netlist(),
             &constraints,
             &faults,
             &self.config.proof.engine_config(),
@@ -473,43 +537,56 @@ impl IdentificationFlow {
     /// debug/test control input (per the configured discovery mode), the scan
     /// interface held at its mission values, the memory-map register ties,
     /// and every mission-unobserved output masked.
-    pub fn mission_constraints(&self, soc: &Soc) -> Result<ConstraintSet, FlowError> {
-        let tied = self.control_inputs(soc)?;
-        Ok(self.mission_constraints_from(soc, &tied))
+    pub fn mission_constraints<D: Design>(&self, design: &D) -> Result<ConstraintSet, FlowError> {
+        let specs = DesignSpecs::gather(design);
+        let tied = self.control_inputs(design, &specs)?;
+        Ok(self.mission_constraints_from(design, &specs, &tied))
     }
 
-    /// [`mission_constraints`](Self::mission_constraints) with the control
-    /// inputs already discovered (the pipeline caches them per run).
-    fn mission_constraints_from(&self, soc: &Soc, tied_inputs: &[(NetId, bool)]) -> ConstraintSet {
+    /// [`mission_constraints`](Self::mission_constraints) with the specs
+    /// already gathered and the control inputs already discovered (the
+    /// pipeline caches both per run).
+    fn mission_constraints_from(
+        &self,
+        design: &dyn Design,
+        specs: &DesignSpecs,
+        tied_inputs: &[(NetId, bool)],
+    ) -> ConstraintSet {
         let mut constraints = ConstraintSet::full_scan();
         // Debug/test control inputs (discovery-mode dependent).
         for &(net, value) in tied_inputs {
             constraints.tie_net(net, value);
         }
         // Scan interface at mission values (§3.1).
-        if let Some(se) = soc.scan.scan_enable_net {
-            constraints.tie_net(se, soc.config.scan.mission_scan_enable_value);
-        }
-        for chain in &soc.scan.chains {
-            constraints.tie_net(chain.scan_in_net, false);
+        if let Some(scan) = &specs.scan {
+            if let Some(se) = scan.scan_enable_net {
+                constraints.tie_net(se, scan.mission_scan_enable_value);
+            }
+            for chain in &scan.chains {
+                constraints.tie_net(chain.scan_in_net, false);
+            }
         }
         // Memory-map register ties (§3.3).
-        let regs = soc.address_registers();
-        let manipulation = memory_map_manipulation(&soc.netlist, &regs, &soc.memory_map);
-        for (net, value) in manipulation
-            .to_constraints()
-            .forced_nets
-            .iter()
-            .map(|(&net, &value)| (net, value == atpg::Logic::One))
-        {
-            constraints.tie_net(net, value);
+        if let Some(spec) = &specs.memory_map {
+            let manipulation =
+                memory_map_manipulation(design.netlist(), &spec.address_registers, &spec.map);
+            for (net, value) in manipulation
+                .to_constraints()
+                .forced_nets
+                .iter()
+                .map(|(&net, &value)| (net, value == atpg::Logic::One))
+            {
+                constraints.tie_net(net, value);
+            }
         }
         // Mission-unobserved outputs (§3.2.2 plus the scan-outs).
-        for po in self.observation_outputs(soc) {
+        for &po in &specs.observation {
             constraints.mask_output(po);
         }
-        for chain in &soc.scan.chains {
-            constraints.mask_output(chain.scan_out_port);
+        if let Some(scan) = &specs.scan {
+            for chain in &scan.chains {
+                constraints.mask_output(chain.scan_out_port);
+            }
         }
         constraints
     }
@@ -520,74 +597,46 @@ impl IdentificationFlow {
         ctx: &mut StageContext<'_>,
     ) -> Result<Vec<(NetId, bool)>, FlowError> {
         if ctx.tied_inputs.is_none() {
-            ctx.tied_inputs = Some(self.control_inputs(ctx.soc)?);
+            ctx.tied_inputs = Some(self.control_inputs(ctx.design, &ctx.specs)?);
         }
         Ok(ctx.tied_inputs.clone().expect("just populated"))
     }
 
-    /// The debug/test control inputs to tie, according to the configured
-    /// discovery mode.
-    fn control_inputs(&self, soc: &Soc) -> Result<Vec<(NetId, bool)>, FlowError> {
+    /// The tied control inputs, according to the configured discovery mode.
+    ///
+    /// Toggle-analysis discovery falls back to the design's specification
+    /// list when the design provides no stimuli to analyse.
+    fn control_inputs(
+        &self,
+        design: &dyn Design,
+        specs: &DesignSpecs,
+    ) -> Result<Vec<(NetId, bool)>, FlowError> {
         match self.config.discovery {
-            DiscoveryMode::Specification => {
-                let mut tied = Vec::new();
-                tied.push((soc.debug.enable_net, soc.debug.config.mission_enable_value));
-                for &net in &soc.debug.data_nets {
-                    tied.push((net, false));
-                }
-                if let Some(jtag) = &soc.jtag {
-                    for &net in &jtag.input_nets {
-                        tied.push((net, false));
-                    }
-                }
-                if let Some(bist) = &soc.bist {
-                    tied.push((bist.enable, false));
-                }
-                Ok(tied)
-            }
+            DiscoveryMode::Specification => Ok(specs.control.clone()),
             DiscoveryMode::ToggleAnalysis => {
-                let suite = standard_suite();
-                let sequences: Vec<Vec<atpg::InputVector>> = suite
-                    .iter()
-                    .map(|p| {
-                        program_stimuli(p, &soc.interface, self.config.toggle_max_cycles).vectors
-                    })
-                    .collect();
-                let report =
-                    analyze_toggles(&soc.netlist, &sequences).map_err(FlowError::Analysis)?;
+                let Some(stimuli) = design.stimuli(self.config.toggle_max_cycles) else {
+                    return Ok(specs.control.clone());
+                };
+                let report = analyze_toggles(design.netlist(), &stimuli.batches)
+                    .map_err(FlowError::Analysis)?;
                 // Inputs with no activity are suspects; exclude the functional
                 // inputs (clock, reset, memory read buses — constant values on
                 // those are an artefact of the stimulus, not of the mission
                 // configuration) and the scan interface (attributed to the
                 // scan rule).
-                let functional = soc.functional_inputs();
-                let mut scan_nets: Vec<NetId> =
-                    soc.scan.chains.iter().map(|c| c.scan_in_net).collect();
-                if let Some(se) = soc.scan.scan_enable_net {
-                    scan_nets.push(se);
+                let functional = design.functional_inputs();
+                let mut scan_nets: Vec<NetId> = Vec::new();
+                if let Some(scan) = &specs.scan {
+                    scan_nets.extend(scan.chains.iter().map(|c| c.scan_in_net));
+                    scan_nets.extend(scan.scan_enable_net);
                 }
                 Ok(report
-                    .suspect_inputs(&soc.netlist)
+                    .suspect_inputs(design.netlist())
                     .into_iter()
                     .filter(|(net, _)| !functional.contains(net) && !scan_nets.contains(net))
                     .collect())
             }
         }
-    }
-
-    /// The observation-only outputs to disconnect for the §3.2.2 rule: the
-    /// debug observation buses and the JTAG TDO (scan-outs are handled by the
-    /// scan rule).
-    fn observation_outputs(&self, soc: &Soc) -> Vec<CellId> {
-        let mut outputs = soc.debug.observation_ports.clone();
-        if let Some(jtag) = &soc.jtag {
-            for load in soc.netlist.loads_of(jtag.tdo) {
-                if soc.netlist.cell(load.cell).kind() == CellKind::Output {
-                    outputs.push(load.cell);
-                }
-            }
-        }
-        outputs
     }
 }
 
@@ -897,6 +946,132 @@ mod tests {
         let mut again: Vec<usize> = (0..100).collect();
         deterministic_shuffle(&mut again, 42);
         assert_eq!(items, again, "same seed, same permutation");
+    }
+
+    /// A small combinational circuit with a mission-constant input and an
+    /// observation-only output, as a generic netlist design.
+    fn generic_design() -> crate::design::NetlistDesign {
+        use netlist::NetlistBuilder;
+        let mut b = NetlistBuilder::new("generic");
+        let a = b.input_bus("a", 4);
+        let te = b.input("test_enable");
+        let mut stage = Vec::new();
+        for i in 0..4 {
+            // `test_enable` gates every bit, so forcing it to 0 makes logic
+            // untestable; one bit also feeds a debug-only output.
+            let gated = b.and2(a[i], te);
+            stage.push(b.xor2(gated, a[(i + 1) % 4]));
+        }
+        let y = b.reduce_or(&stage);
+        b.output("y", y);
+        b.output("dbg", stage[0]);
+        let n = b.finish();
+        crate::design::NetlistDesign::with_constraints(
+            n,
+            &crate::design::ConstraintSpec {
+                forced: vec![("test_enable".into(), false)],
+                masked: vec!["dbg".into()],
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generic_design_degrades_to_screen_plus_proof() {
+        let design = generic_design();
+        let config = FlowConfig {
+            proof: ProofStageConfig {
+                backtrack_limit: 16,
+                threads: 1,
+                ..ProofStageConfig::default()
+            },
+            ..FlowConfig::full_pipeline()
+        };
+        let (report, faults) = IdentificationFlow::new(config)
+            .run_with_faults(&design)
+            .unwrap();
+        // Scan, memory-map and sbst-sim are skipped: the design has no scan
+        // structure, no address registers and no stimuli.
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["baseline", "debug-control", "debug-observe", "atpg-proof"],
+            "{report}"
+        );
+        assert_eq!(report.count_for(UntestableSource::Scan), 0);
+        assert_eq!(report.count_for(UntestableSource::MemoryMap), 0);
+        // The forced net makes the gating logic untestable on-line.
+        assert!(
+            report.count_for(UntestableSource::DebugControl) > 0,
+            "{report}"
+        );
+        assert!(
+            report.count_for(UntestableSource::DebugObservation) > 0,
+            "{report}"
+        );
+        assert_eq!(report.counts, faults.counts());
+        assert_eq!(report.counts.total(), report.total_faults);
+    }
+
+    #[test]
+    fn unconstrained_netlist_runs_baseline_and_proof_only() {
+        use netlist::NetlistBuilder;
+        let mut b = NetlistBuilder::new("bare");
+        let a = b.input_bus("a", 3);
+        let x = b.and2(a[0], a[1]);
+        let y = b.xor2(x, a[2]);
+        b.output("y", y);
+        let design = crate::design::NetlistDesign::new(b.finish());
+        let report = IdentificationFlow::new(FlowConfig::full_pipeline())
+            .run(&design)
+            .unwrap();
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["baseline", "atpg-proof"], "{report}");
+        // A fully controllable/observable circuit has nothing untestable.
+        assert_eq!(report.total_untestable(), 0, "{report}");
+    }
+
+    #[test]
+    fn phase_list_is_discovery_mode_invariant_for_bare_designs() {
+        // The phase list is a capability fingerprint of the design: a bare
+        // netlist (no control inputs, no stimuli) must skip debug-control
+        // under Specification *and* ToggleAnalysis discovery alike.
+        use netlist::NetlistBuilder;
+        let mut b = NetlistBuilder::new("bare_toggle");
+        let a = b.input_bus("a", 3);
+        let y = b.and2(a[0], a[1]);
+        let z = b.xor2(y, a[2]);
+        b.output("z", z);
+        let design = crate::design::NetlistDesign::new(b.finish());
+        let phases = |discovery| {
+            IdentificationFlow::new(FlowConfig {
+                discovery,
+                ..FlowConfig::full_pipeline()
+            })
+            .run(&design)
+            .unwrap()
+            .phases
+            .iter()
+            .map(|p| p.name.clone())
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            phases(DiscoveryMode::Specification),
+            phases(DiscoveryMode::ToggleAnalysis)
+        );
+        assert_eq!(
+            phases(DiscoveryMode::Specification),
+            ["baseline", "atpg-proof"]
+        );
+    }
+
+    #[test]
+    fn generic_mission_constraints_cover_the_spec() {
+        let design = generic_design();
+        let flow = IdentificationFlow::new(FlowConfig::default());
+        let constraints = flow.mission_constraints(&design).unwrap();
+        assert_eq!(constraints.forced_nets.len(), 1);
+        assert_eq!(constraints.masked_outputs.len(), 1);
     }
 
     #[test]

@@ -43,12 +43,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod design;
 pub mod flow;
 pub mod manipulate;
 pub mod report;
 pub mod rules;
 pub mod toggle;
 
+pub use design::{ConstraintSpec, Design, NetlistDesign, SpecError};
 pub use flow::{DiscoveryMode, FlowConfig, FlowError, IdentificationFlow, ProofStageConfig};
 pub use manipulate::{Manipulation, ManipulationStep};
 pub use report::{IdentificationReport, PhaseResult};

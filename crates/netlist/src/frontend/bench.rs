@@ -1,0 +1,833 @@
+//! ISCAS-85/89 `.bench` reader and writer.
+//!
+//! The `.bench` format is the de-facto interchange format of the ATPG
+//! literature (the ISCAS-85 combinational and ISCAS-89 sequential benchmark
+//! suites are distributed in it): one statement per line, either a port
+//! declaration `INPUT(a)` / `OUTPUT(y)` or a gate `y = NAND(a, b)`.
+//!
+//! Supported operators: `AND`, `NAND`, `OR`, `NOR`, `XOR`, `XNOR` (arity from
+//! the argument count), `NOT`/`INV`, `BUF`/`BUFF`, `DFF`, plus the extensions
+//! `MUX` (pin order `D0, D1, S`, matching [`CellKind::Mux2`]), and
+//! `TIE0`/`TIE1`/`CONST0`/`CONST1` for the constant drivers. Operator names
+//! are case-insensitive.
+//!
+//! ISCAS-89 flip-flops have no explicit clock pin. The reader connects every
+//! `DFF` to a single global clock input: the net named by a `#@ clock <name>`
+//! directive when present (the writer always emits one), otherwise a fresh
+//! primary input named `CK`. The writer refuses designs it cannot express —
+//! scan flip-flops, flip-flops with asynchronous resets, more than one clock
+//! domain, gated or generated clocks — rather than silently dropping
+//! structure.
+
+use super::ParseError;
+use crate::{CellKind, NetId, Netlist};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default name of the synthesized clock input when a sequential `.bench`
+/// file carries no `#@ clock` directive.
+pub const DEFAULT_CLOCK_NAME: &str = "CK";
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// One parsed statement, with the line it came from.
+enum Statement {
+    Input {
+        name: String,
+        line: usize,
+    },
+    Output {
+        name: String,
+        line: usize,
+    },
+    Gate {
+        target: String,
+        op: String,
+        op_column: usize,
+        args: Vec<String>,
+        line: usize,
+    },
+}
+
+/// Maps a `.bench` operator (already uppercased) and argument count to a
+/// [`CellKind`]. `None` means the operator itself is unknown; `Some(Err(_))`
+/// means the operator is known but the arity is invalid.
+fn op_kind(op: &str, arity: usize) -> Option<Result<CellKind, String>> {
+    let variadic = |make: fn(u8) -> CellKind| {
+        Some(if (2..=32).contains(&arity) {
+            Ok(make(arity as u8))
+        } else {
+            Err(format!("expects 2..=32 arguments, got {arity}"))
+        })
+    };
+    let fixed = |kind: CellKind, expected: usize| {
+        Some(if arity == expected {
+            Ok(kind)
+        } else {
+            Err(format!("expects {expected} argument(s), got {arity}"))
+        })
+    };
+    match op {
+        "AND" => variadic(CellKind::And),
+        "NAND" => variadic(CellKind::Nand),
+        "OR" => variadic(CellKind::Or),
+        "NOR" => variadic(CellKind::Nor),
+        "XOR" => variadic(CellKind::Xor),
+        "XNOR" => variadic(CellKind::Xnor),
+        "NOT" | "INV" => fixed(CellKind::Not, 1),
+        "BUF" | "BUFF" => fixed(CellKind::Buf, 1),
+        "DFF" => fixed(CellKind::Dff { reset: None }, 1),
+        "MUX" | "MUX2" => fixed(CellKind::Mux2, 3),
+        "TIE0" | "CONST0" => fixed(CellKind::Tie0, 0),
+        "TIE1" | "CONST1" => fixed(CellKind::Tie1, 0),
+        _ => None,
+    }
+}
+
+/// Splits `inner` (the text between the parentheses) into trimmed argument
+/// names, rejecting empty items. An entirely blank `inner` is zero arguments.
+fn split_args(inner: &str, line: usize, column: usize) -> Result<Vec<String>, ParseError> {
+    if inner.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|arg| {
+            let arg = arg.trim();
+            if arg.is_empty() {
+                Err(ParseError::new(
+                    line,
+                    column,
+                    "empty argument in gate connection list",
+                ))
+            } else {
+                Ok(arg.to_string())
+            }
+        })
+        .collect()
+}
+
+/// 1-based character column of the byte offset `at` within `text`.
+fn column_of(text: &str, at: usize) -> usize {
+    text[..at.min(text.len())].chars().count() + 1
+}
+
+/// Parses one `target = OP(args...)` statement (`eq` is the byte offset of
+/// the `=` within `code`) and appends it to `statements`.
+fn parse_gate_statement(
+    code: &str,
+    trimmed: &str,
+    eq: usize,
+    line: usize,
+    stmt_column: usize,
+    statements: &mut Vec<Statement>,
+) -> Result<(), ParseError> {
+    let target = code[..eq].trim();
+    if target.is_empty() {
+        return Err(
+            ParseError::new(line, stmt_column, "missing target net before `=`").with_token(trimmed),
+        );
+    }
+    // Byte offset of the trimmed right-hand side within `code`, so error
+    // columns point into the original line.
+    let after_eq = &code[eq + 1..];
+    let rhs_start = eq + 1 + (after_eq.len() - after_eq.trim_start().len());
+    let rhs = after_eq.trim();
+    let open = rhs.find('(').ok_or_else(|| {
+        ParseError::new(
+            line,
+            column_of(code, rhs_start),
+            "expected `OP(args...)` after `=`",
+        )
+        .with_token(rhs)
+    })?;
+    let close = rhs.rfind(')').filter(|&c| c > open).ok_or_else(|| {
+        ParseError::new(
+            line,
+            column_of(code, rhs_start),
+            "unterminated gate connection list",
+        )
+        .with_token(rhs)
+    })?;
+    if !rhs[close + 1..].trim().is_empty() {
+        return Err(ParseError::new(
+            line,
+            column_of(code, rhs_start + close + 1),
+            "trailing text after gate connection list",
+        )
+        .with_token(rhs[close + 1..].trim()));
+    }
+    let op = rhs[..open].trim();
+    if op.is_empty() {
+        return Err(ParseError::new(
+            line,
+            column_of(code, rhs_start),
+            "missing operator after `=`",
+        )
+        .with_token(rhs));
+    }
+    statements.push(Statement::Gate {
+        target: target.to_string(),
+        op: op.to_ascii_uppercase(),
+        op_column: column_of(code, rhs_start),
+        args: split_args(
+            &rhs[open + 1..close],
+            line,
+            column_of(code, rhs_start + open + 1),
+        )?,
+        line,
+    });
+    Ok(())
+}
+
+/// Parses ISCAS-85/89 `.bench` text into a [`Netlist`].
+///
+/// Statements may appear in any order (gates may reference nets that are
+/// declared or driven later in the file), matching the distributed ISCAS
+/// files.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed statements, unknown operators,
+/// wrong operator arity, nets that are referenced but never driven, and nets
+/// driven more than once.
+pub fn parse_bench(text: &str) -> Result<Netlist, ParseError> {
+    let mut statements: Vec<Statement> = Vec::new();
+    let mut clock_name: Option<String> = None;
+    let mut design_name: Option<String> = None;
+
+    for (line_index, raw_line) in text.lines().enumerate() {
+        let line = line_index + 1;
+        // Directives ride on comment lines so foreign tools ignore them.
+        if let Some(directive) = raw_line.trim().strip_prefix("#@") {
+            let mut words = directive.split_whitespace();
+            match words.next() {
+                Some("clock") => {
+                    clock_name = Some(words.next().map(str::to_string).ok_or_else(|| {
+                        ParseError::new(line, 1, "`#@ clock` directive needs a net name")
+                    })?);
+                }
+                Some("name") => {
+                    design_name = words.next().map(str::to_string);
+                }
+                _ => {} // Unknown directives are ignored, like plain comments.
+            }
+            continue;
+        }
+        let code = raw_line.split('#').next().unwrap_or("");
+        let trimmed = code.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let stmt_column = column_of(raw_line, raw_line.len() - raw_line.trim_start().len());
+
+        // A `=` anywhere makes this a gate statement — checked before the
+        // port-declaration prefixes so a target net named e.g.
+        // `output_stage` is not misread as a malformed OUTPUT declaration
+        // (the writer happily emits such names).
+        if let Some(eq) = code.find('=') {
+            parse_gate_statement(code, trimmed, eq, line, stmt_column, &mut statements)?;
+        } else if let Some(rest) = trimmed
+            .strip_prefix("INPUT")
+            .or_else(|| trimmed.strip_prefix("input"))
+        {
+            let name = rest
+                .trim()
+                .strip_prefix('(')
+                .and_then(|r| r.strip_suffix(')'))
+                .map(str::trim)
+                .filter(|n| !n.is_empty())
+                .ok_or_else(|| {
+                    ParseError::new(
+                        line,
+                        stmt_column,
+                        "malformed INPUT declaration, expected `INPUT(name)`",
+                    )
+                    .with_token(trimmed)
+                })?;
+            statements.push(Statement::Input {
+                name: name.to_string(),
+                line,
+            });
+        } else if let Some(rest) = trimmed
+            .strip_prefix("OUTPUT")
+            .or_else(|| trimmed.strip_prefix("output"))
+        {
+            let name = rest
+                .trim()
+                .strip_prefix('(')
+                .and_then(|r| r.strip_suffix(')'))
+                .map(str::trim)
+                .filter(|n| !n.is_empty())
+                .ok_or_else(|| {
+                    ParseError::new(
+                        line,
+                        stmt_column,
+                        "malformed OUTPUT declaration, expected `OUTPUT(name)`",
+                    )
+                    .with_token(trimmed)
+                })?;
+            statements.push(Statement::Output {
+                name: name.to_string(),
+                line,
+            });
+        } else {
+            return Err(ParseError::new(
+                line,
+                stmt_column,
+                "expected `INPUT(...)`, `OUTPUT(...)` or `net = OP(...)`",
+            )
+            .with_token(trimmed));
+        }
+    }
+
+    build_netlist(statements, clock_name, design_name)
+}
+
+/// Second pass: materialise the statements into a netlist. Inputs first,
+/// then every gate target net, then the gates, then the output pseudo-cells —
+/// so declaration order in the file does not matter.
+fn build_netlist(
+    statements: Vec<Statement>,
+    clock_name: Option<String>,
+    design_name: Option<String>,
+) -> Result<Netlist, ParseError> {
+    let mut netlist = Netlist::new(design_name.unwrap_or_else(|| "bench".to_string()));
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+
+    for stmt in &statements {
+        if let Statement::Input { name, line } = stmt {
+            if nets.contains_key(name) {
+                return Err(
+                    ParseError::new(*line, 1, format!("duplicate INPUT `{name}`"))
+                        .with_token(name.clone()),
+                );
+            }
+            let (_, net) = netlist.add_input(name);
+            nets.insert(name.clone(), net);
+        }
+    }
+    // Create every gate target net before wiring anything, so gates can
+    // reference later-defined nets.
+    for stmt in &statements {
+        if let Statement::Gate { target, line, .. } = stmt {
+            if nets.contains_key(target) {
+                // Either a second driver or a gate driving an INPUT net; both
+                // are invalid and `try_add_cell` would also catch the former.
+                return Err(ParseError::new(
+                    *line,
+                    1,
+                    format!("net `{target}` is driven more than once"),
+                )
+                .with_token(target.clone()));
+            }
+            nets.insert(target.clone(), netlist.add_net(target));
+        }
+    }
+
+    let needs_clock = statements
+        .iter()
+        .any(|s| matches!(s, Statement::Gate { op, .. } if op == "DFF"));
+    let clock_net = if needs_clock {
+        let name = clock_name.unwrap_or_else(|| DEFAULT_CLOCK_NAME.to_string());
+        Some(match nets.get(&name) {
+            Some(&net) => net,
+            None => {
+                let (_, net) = netlist.add_input(&name);
+                nets.insert(name, net);
+                net
+            }
+        })
+    } else {
+        None
+    };
+
+    for stmt in &statements {
+        let Statement::Gate {
+            target,
+            op,
+            op_column,
+            args,
+            line,
+        } = stmt
+        else {
+            continue;
+        };
+        let kind = match op_kind(op, args.len()) {
+            Some(Ok(kind)) => kind,
+            Some(Err(arity_message)) => {
+                return Err(ParseError::new(
+                    *line,
+                    *op_column,
+                    format!("operator `{op}` {arity_message}"),
+                )
+                .with_token(op.clone()))
+            }
+            None => {
+                return Err(
+                    ParseError::new(*line, *op_column, format!("unknown operator `{op}`"))
+                        .with_token(op.clone()),
+                )
+            }
+        };
+        let mut inputs = Vec::with_capacity(kind.num_inputs());
+        for arg in args {
+            let net = *nets.get(arg).ok_or_else(|| {
+                ParseError::new(*line, 1, format!("net `{arg}` is never driven"))
+                    .with_token(arg.clone())
+            })?;
+            inputs.push(net);
+        }
+        if kind.is_sequential() {
+            inputs.push(clock_net.expect("clock net exists when DFFs are present"));
+        }
+        netlist
+            .try_add_cell(kind, target, &inputs, Some(nets[target]))
+            .map_err(|e| ParseError::new(*line, 1, e.to_string()).with_token(target.clone()))?;
+    }
+
+    for stmt in &statements {
+        if let Statement::Output { name, line } = stmt {
+            let net = *nets.get(name).ok_or_else(|| {
+                ParseError::new(*line, 1, format!("net `{name}` is never driven"))
+                    .with_token(name.clone())
+            })?;
+            netlist.add_output(name, net);
+        }
+    }
+    Ok(netlist)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Error produced while serialising a netlist to `.bench`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteError {
+    /// The design contains a cell kind the format cannot express (scan
+    /// flip-flops, flip-flops with asynchronous resets).
+    UnsupportedCell {
+        /// Instance name of the offending cell.
+        cell: String,
+        /// The kind that has no `.bench` encoding.
+        kind: CellKind,
+    },
+    /// The design clocks its flip-flops from more than one net, or from a net
+    /// that is not a primary input.
+    UnsupportedClock {
+        /// Description of the clocking structure.
+        detail: String,
+    },
+    /// A net name contains characters the format cannot quote
+    /// (whitespace, `(`, `)`, `,`, `=` or `#`).
+    UnencodableName {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteError::UnsupportedCell { cell, kind } => {
+                write!(f, "cell `{cell}` of kind {kind} has no .bench encoding")
+            }
+            WriteError::UnsupportedClock { detail } => {
+                write!(f, "unsupported clocking for .bench: {detail}")
+            }
+            WriteError::UnencodableName { name } => {
+                write!(f, "name `{name}` cannot be encoded in .bench")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+fn encode_name(name: &str) -> Result<&str, WriteError> {
+    let ok = !name.is_empty()
+        && !name
+            .chars()
+            .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | ',' | '=' | '#'));
+    if ok {
+        Ok(name)
+    } else {
+        Err(WriteError::UnencodableName {
+            name: name.to_string(),
+        })
+    }
+}
+
+/// Serialises a netlist to ISCAS-style `.bench` text.
+///
+/// Flip-flops are written as single-argument `DFF(d)` gates — the format has
+/// no clock pin — and the common clock is recorded in a `#@ clock` directive
+/// the reader honours, so a write→parse round-trip reproduces the design
+/// exactly (the directive line reads as a plain comment to foreign tools).
+/// Dead cells are skipped, as in the Verilog writer.
+///
+/// # Errors
+///
+/// See [`WriteError`]; scan flip-flops, asynchronous resets, multiple clock
+/// domains and names the format cannot express are rejected.
+pub fn write_bench(netlist: &Netlist) -> Result<String, WriteError> {
+    // The single clock domain, if any flip-flop survives.
+    let mut clock: Option<NetId> = None;
+    for (_, cell) in netlist.live_cells() {
+        let kind = cell.kind();
+        if !kind.is_sequential() {
+            continue;
+        }
+        if !matches!(kind, CellKind::Dff { reset: None }) {
+            return Err(WriteError::UnsupportedCell {
+                cell: cell.name().to_string(),
+                kind,
+            });
+        }
+        let ck = cell.inputs()[kind.clock_pin().expect("sequential kind") as usize];
+        // The format's implicit clock is re-created as a primary input by
+        // the reader, so anything else (a gated or generated clock) would
+        // not round-trip and is rejected.
+        let driven_by_input = netlist
+            .driver_of(ck)
+            .is_some_and(|driver| netlist.cell(driver).kind() == CellKind::Input);
+        if !driven_by_input {
+            return Err(WriteError::UnsupportedClock {
+                detail: format!(
+                    "clock net `{}` is not driven by a primary input",
+                    netlist.net(ck).name()
+                ),
+            });
+        }
+        match clock {
+            None => clock = Some(ck),
+            Some(existing) if existing == ck => {}
+            Some(existing) => {
+                return Err(WriteError::UnsupportedClock {
+                    detail: format!(
+                        "flip-flops on two clock nets (`{}` and `{}`)",
+                        netlist.net(existing).name(),
+                        netlist.net(ck).name()
+                    ),
+                })
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", netlist.name()));
+    out.push_str(&format!("#@ name {}\n", encode_name(netlist.name())?));
+    if let Some(ck) = clock {
+        out.push_str(&format!(
+            "#@ clock {}\n",
+            encode_name(netlist.net(ck).name())?
+        ));
+    }
+
+    for pi in netlist.primary_inputs() {
+        if netlist.cell(pi).is_dead() {
+            continue;
+        }
+        let net = netlist.output_net(pi).expect("input drives a net");
+        out.push_str(&format!(
+            "INPUT({})\n",
+            encode_name(netlist.net(net).name())?
+        ));
+    }
+    for po in netlist.primary_outputs() {
+        if netlist.cell(po).is_dead() {
+            continue;
+        }
+        let net = netlist.cell(po).inputs()[0];
+        out.push_str(&format!(
+            "OUTPUT({})\n",
+            encode_name(netlist.net(net).name())?
+        ));
+    }
+    out.push('\n');
+
+    for (_, cell) in netlist.live_cells() {
+        let kind = cell.kind();
+        if kind.is_port() {
+            continue;
+        }
+        let target = cell.output().expect("non-port cells drive a net");
+        let op = match kind {
+            CellKind::And(_) => "AND",
+            CellKind::Nand(_) => "NAND",
+            CellKind::Or(_) => "OR",
+            CellKind::Nor(_) => "NOR",
+            CellKind::Xor(_) => "XOR",
+            CellKind::Xnor(_) => "XNOR",
+            CellKind::Not => "NOT",
+            CellKind::Buf => "BUFF",
+            CellKind::Mux2 => "MUX",
+            CellKind::Tie0 => "TIE0",
+            CellKind::Tie1 => "TIE1",
+            CellKind::Dff { reset: None } => "DFF",
+            other => {
+                return Err(WriteError::UnsupportedCell {
+                    cell: cell.name().to_string(),
+                    kind: other,
+                })
+            }
+        };
+        // The clock pin is implicit in the format; drop it for flip-flops.
+        let data_pins: &[NetId] = if kind.is_sequential() {
+            &cell.inputs()[..1]
+        } else {
+            cell.inputs()
+        };
+        let args = data_pins
+            .iter()
+            .map(|&n| encode_name(netlist.net(n).name()).map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?
+            .join(", ");
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            encode_name(netlist.net(target).name())?,
+            op,
+            args
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::stats;
+    use crate::NetlistBuilder;
+
+    /// The genuine ISCAS-85 c17 circuit.
+    const C17: &str = "
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let n = parse_bench(C17).unwrap();
+        let s = stats(&n);
+        assert_eq!(s.primary_inputs, 5);
+        assert_eq!(s.primary_outputs, 2);
+        assert_eq!(s.combinational_cells, 6);
+        assert_eq!(s.flip_flops, 0);
+    }
+
+    #[test]
+    fn statement_order_does_not_matter() {
+        let shuffled = "
+OUTPUT(y)
+y = AND(g, b)
+g = NOT(a)
+INPUT(a)
+INPUT(b)
+";
+        let n = parse_bench(shuffled).unwrap();
+        assert_eq!(n.primary_inputs().len(), 2);
+        assert_eq!(stats(&n).combinational_cells, 2);
+    }
+
+    #[test]
+    fn sequential_bench_synthesizes_a_clock() {
+        let src = "
+INPUT(d)
+OUTPUT(q)
+q = DFF(d)
+";
+        let n = parse_bench(src).unwrap();
+        let s = stats(&n);
+        assert_eq!(s.flip_flops, 1);
+        // d plus the synthesized CK.
+        assert_eq!(s.primary_inputs, 2);
+        assert!(n.find_net(DEFAULT_CLOCK_NAME).is_some());
+    }
+
+    #[test]
+    fn clock_directive_names_the_clock() {
+        let src = "
+#@ clock clk
+INPUT(d)
+INPUT(clk)
+OUTPUT(q)
+q = DFF(d)
+";
+        let n = parse_bench(src).unwrap();
+        assert_eq!(
+            stats(&n).primary_inputs,
+            2,
+            "directive reuses the declared input"
+        );
+        let ff = n.sequential_cells()[0];
+        let ck_net = n.cell(ff).inputs()[1];
+        assert_eq!(n.net(ck_net).name(), "clk");
+    }
+
+    #[test]
+    fn mux_and_ties_are_supported_extensions() {
+        let src = "
+INPUT(a)
+INPUT(b)
+INPUT(s)
+OUTPUT(y)
+one = TIE1()
+m = MUX(a, b, s)
+y = AND(m, one)
+";
+        let n = parse_bench(src).unwrap();
+        let s = stats(&n);
+        assert_eq!(s.tie_cells, 1);
+        assert_eq!(s.combinational_cells, 2);
+    }
+
+    #[test]
+    fn undriven_net_is_an_error() {
+        let err = parse_bench("OUTPUT(y)\ny = NOT(ghost)\n").unwrap_err();
+        assert!(err.message.contains("never driven"), "{err}");
+        assert_eq!(err.token.as_deref(), Some("ghost"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn double_driver_is_an_error() {
+        let err = parse_bench("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n").unwrap_err();
+        assert!(err.message.contains("driven more than once"), "{err}");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn unknown_operator_reports_location_and_token() {
+        let err = parse_bench("INPUT(a)\ny = FROB(a)\n").unwrap_err();
+        assert!(err.message.contains("unknown operator"), "{err}");
+        assert_eq!(err.token.as_deref(), Some("FROB"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let err = parse_bench("INPUT(a)\ny = NAND(a)\n").unwrap_err();
+        assert!(err.message.contains("expects 2..=32"), "{err}");
+        let err = parse_bench("INPUT(a)\ny = NOT(a, a)\n").unwrap_err();
+        assert!(err.message.contains("expects 1 argument"), "{err}");
+    }
+
+    #[test]
+    fn targets_named_like_port_keywords_roundtrip() {
+        // `output_stage = NAND(...)` is a gate statement, not a malformed
+        // OUTPUT declaration: the `=` wins over the keyword prefix.
+        let src = "
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+output_stage = NAND(a, b)
+input_latch = NOT(output_stage)
+y = AND(output_stage, input_latch)
+";
+        let n = parse_bench(src).unwrap();
+        assert_eq!(stats(&n).combinational_cells, 3);
+        // And the writer output for such names parses back.
+        let text = write_bench(&n).unwrap();
+        let reparsed = parse_bench(&text).unwrap();
+        assert_eq!(
+            stats(&n).combinational_cells,
+            stats(&reparsed).combinational_cells
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_including_flops() {
+        let mut b = NetlistBuilder::new("rt_bench");
+        let a = b.input_bus("a", 4);
+        let c = b.input_bus("b", 4);
+        let ck = b.input("ck");
+        let zero = b.tie0();
+        let (sum, carry) = b.ripple_adder(&a, &c, zero);
+        let q = b.register(&sum, ck);
+        b.output_bus("q", &q);
+        b.output("cout", carry);
+        let n = b.finish();
+        let text = write_bench(&n).unwrap();
+        assert!(text.contains("#@ clock ck"));
+        let parsed = parse_bench(&text).unwrap();
+        let s1 = stats(&n);
+        let s2 = stats(&parsed);
+        assert_eq!(s1.combinational_cells, s2.combinational_cells);
+        assert_eq!(s1.flip_flops, s2.flip_flops);
+        assert_eq!(s1.primary_inputs, s2.primary_inputs);
+        assert_eq!(s1.primary_outputs, s2.primary_outputs);
+        assert_eq!(s1.tie_cells, s2.tie_cells);
+        assert_eq!(parsed.name(), "rt_bench");
+    }
+
+    #[test]
+    fn writer_rejects_scan_flops_and_bad_names() {
+        let mut n = Netlist::new("w");
+        let (_, d) = n.add_input("d");
+        let (_, si) = n.add_input("si");
+        let (_, se) = n.add_input("se");
+        let (_, ck) = n.add_input("ck");
+        let q = n.add_net("q");
+        n.add_cell(
+            CellKind::Sdff { reset: None },
+            "ff",
+            &[d, si, se, ck],
+            Some(q),
+        );
+        n.add_output("q", q);
+        let err = write_bench(&n).unwrap_err();
+        assert!(matches!(err, WriteError::UnsupportedCell { .. }), "{err}");
+
+        let mut b = NetlistBuilder::new("bad name");
+        let a = b.input("a w"); // whitespace cannot be encoded
+        b.output("y", a);
+        let err = write_bench(&b.finish()).unwrap_err();
+        assert!(matches!(err, WriteError::UnencodableName { .. }), "{err}");
+    }
+
+    #[test]
+    fn writer_rejects_gated_clocks() {
+        let mut n = Netlist::new("gated");
+        let (_, d) = n.add_input("d");
+        let (_, ck) = n.add_input("ck");
+        let (_, en) = n.add_input("en");
+        let gck = n.add_net("gck");
+        n.add_cell(CellKind::And(2), "u_gate", &[ck, en], Some(gck));
+        let q = n.add_net("q");
+        n.add_cell(CellKind::Dff { reset: None }, "ff", &[d, gck], Some(q));
+        n.add_output("q", q);
+        let err = write_bench(&n).unwrap_err();
+        assert!(matches!(err, WriteError::UnsupportedClock { .. }), "{err}");
+        assert!(err.to_string().contains("not driven by a primary input"));
+    }
+
+    #[test]
+    fn writer_rejects_two_clock_domains() {
+        let mut n = Netlist::new("two_clocks");
+        let (_, d) = n.add_input("d");
+        let (_, ck1) = n.add_input("ck1");
+        let (_, ck2) = n.add_input("ck2");
+        let q1 = n.add_net("q1");
+        let q2 = n.add_net("q2");
+        n.add_cell(CellKind::Dff { reset: None }, "f1", &[d, ck1], Some(q1));
+        n.add_cell(CellKind::Dff { reset: None }, "f2", &[q1, ck2], Some(q2));
+        n.add_output("q2", q2);
+        let err = write_bench(&n).unwrap_err();
+        assert!(matches!(err, WriteError::UnsupportedClock { .. }), "{err}");
+    }
+}

@@ -1,0 +1,834 @@
+//! Structural EDIF 2.0.0 subset reader.
+//!
+//! EDIF is the s-expression netlist interchange format emitted by synthesis
+//! tools. This reader supports the flat structural subset: one library of
+//! `GENERIC` cells, a top cell whose `view` carries an `interface` (the
+//! primary ports) and `contents` (leaf-cell `instance`s plus `net`s joining
+//! `portref`s). Instances must reference cells of this workspace's library
+//! by name (`AND2`, `INV`, `MUX2`, `DFF`, … — the same names the structural
+//! Verilog frontend uses); hierarchical designs are not flattened.
+//!
+//! Identifiers may use the `(rename mangled "original")` form, in which case
+//! the original string names the object. Keywords are matched
+//! case-insensitively, as EDIF tools disagree on capitalisation.
+
+use super::ParseError;
+use crate::{CellKind, NetId, Netlist};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// S-expression layer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum SExprKind {
+    Symbol(String),
+    Str(String),
+    Int(i64),
+    List(Vec<SExpr>),
+}
+
+#[derive(Debug)]
+struct SExpr {
+    kind: SExprKind,
+    line: usize,
+    column: usize,
+}
+
+impl SExpr {
+    fn list(&self) -> Option<&[SExpr]> {
+        match &self.kind {
+            SExprKind::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn symbol(&self) -> Option<&str> {
+        match &self.kind {
+            SExprKind::Symbol(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The keyword a list starts with, lowercased (EDIF keywords are matched
+    /// case-insensitively). `None` for atoms and empty lists.
+    fn keyword(&self) -> Option<String> {
+        self.list()?
+            .first()?
+            .symbol()
+            .map(|s| s.to_ascii_lowercase())
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.column, message)
+    }
+}
+
+struct Lexer<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer {
+            text,
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.text[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.column, message)
+    }
+
+    /// Parses one s-expression (atom or list).
+    fn parse_expr(&mut self) -> Result<SExpr, ParseError> {
+        self.skip_ws();
+        let (line, column) = (self.line, self.column);
+        match self.peek() {
+            None => Err(self.error("unexpected end of file")),
+            Some('(') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(')') => {
+                            self.bump();
+                            break;
+                        }
+                        None => return Err(ParseError::new(line, column, "unterminated list")),
+                        Some(_) => items.push(self.parse_expr()?),
+                    }
+                }
+                Ok(SExpr {
+                    kind: SExprKind::List(items),
+                    line,
+                    column,
+                })
+            }
+            Some(')') => Err(self.error("unmatched `)`").with_token(")")),
+            Some('"') => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(ParseError::new(line, column, "unterminated string")),
+                    }
+                }
+                Ok(SExpr {
+                    kind: SExprKind::Str(s),
+                    line,
+                    column,
+                })
+            }
+            Some(_) => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_whitespace() || c == '(' || c == ')' || c == '"' {
+                        break;
+                    }
+                    self.bump();
+                }
+                let word = &self.text[start..self.pos];
+                let kind = match word.parse::<i64>() {
+                    Ok(v) => SExprKind::Int(v),
+                    Err(_) => SExprKind::Symbol(word.to_string()),
+                };
+                Ok(SExpr { kind, line, column })
+            }
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EDIF structure layer
+// ---------------------------------------------------------------------------
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Direction {
+    Input,
+    Output,
+}
+
+struct Port {
+    name: String,
+    direction: Direction,
+    line: usize,
+    column: usize,
+}
+
+struct Instance {
+    name: String,
+    kind: CellKind,
+    line: usize,
+    column: usize,
+}
+
+/// `(portref P)` for a top-level port, `(portref P (instanceref I))` for an
+/// instance pin.
+struct PortRef {
+    port: String,
+    instance: Option<String>,
+    line: usize,
+    column: usize,
+}
+
+struct EdifNet {
+    name: String,
+    portrefs: Vec<PortRef>,
+}
+
+struct TopCell {
+    name: String,
+    ports: Vec<Port>,
+    instances: Vec<Instance>,
+    nets: Vec<EdifNet>,
+}
+
+/// Resolves a name position: a bare symbol, or `(rename mangled "original")`
+/// in which case the original string is the name.
+fn parse_name(e: &SExpr) -> Result<String, ParseError> {
+    if let Some(s) = e.symbol() {
+        return Ok(s.to_string());
+    }
+    if let SExprKind::Int(v) = e.kind {
+        // ISCAS-derived designs name nets with bare numbers.
+        return Ok(v.to_string());
+    }
+    if e.keyword().as_deref() == Some("rename") {
+        let items = e.list().expect("keyword implies list");
+        if let Some(SExprKind::Str(original)) = items.get(2).map(|i| &i.kind) {
+            return Ok(original.clone());
+        }
+        if let Some(name) = items.get(1).and_then(|i| i.symbol()) {
+            return Ok(name.to_string());
+        }
+    }
+    Err(e.error("expected a name (symbol or `(rename sym \"string\")`)"))
+}
+
+fn parse_port(e: &SExpr) -> Result<Port, ParseError> {
+    let items = e.list().expect("caller checked the keyword");
+    let name_expr = items.get(1).ok_or_else(|| e.error("port needs a name"))?;
+    let name = parse_name(name_expr)?;
+    let mut direction = None;
+    for item in &items[2..] {
+        if item.keyword().as_deref() == Some("direction") {
+            let dir = item
+                .list()
+                .and_then(|l| l.get(1))
+                .and_then(|d| d.symbol())
+                .ok_or_else(|| item.error("malformed `direction`"))?;
+            direction = Some(match dir.to_ascii_uppercase().as_str() {
+                "INPUT" => Direction::Input,
+                "OUTPUT" => Direction::Output,
+                other => {
+                    return Err(item
+                        .error(format!("unsupported port direction `{other}`"))
+                        .with_token(other))
+                }
+            });
+        }
+    }
+    let direction =
+        direction.ok_or_else(|| e.error(format!("port `{name}` has no `(direction ...)`")))?;
+    Ok(Port {
+        name,
+        direction,
+        line: e.line,
+        column: e.column,
+    })
+}
+
+/// Extracts the referenced cell name from
+/// `(instance N (viewref V (cellref C (libraryref L))))` — also accepting a
+/// direct `(cellref C ...)` child, which some writers emit.
+fn instance_cellref(items: &[SExpr]) -> Option<String> {
+    for item in &items[2..] {
+        match item.keyword().as_deref() {
+            Some("viewref") => {
+                for sub in item.list().unwrap_or(&[]) {
+                    if sub.keyword().as_deref() == Some("cellref") {
+                        if let Some(name) = sub.list().and_then(|l| l.get(1)) {
+                            return parse_name(name).ok();
+                        }
+                    }
+                }
+            }
+            Some("cellref") => {
+                if let Some(name) = item.list().and_then(|l| l.get(1)) {
+                    return parse_name(name).ok();
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_instance(e: &SExpr) -> Result<Instance, ParseError> {
+    let items = e.list().expect("caller checked the keyword");
+    let name = parse_name(
+        items
+            .get(1)
+            .ok_or_else(|| e.error("instance needs a name"))?,
+    )?;
+    let cellref = instance_cellref(items)
+        .ok_or_else(|| e.error(format!("instance `{name}` has no `(cellref ...)`")))?;
+    let kind = CellKind::from_lib_name(&cellref).ok_or_else(|| {
+        e.error(format!(
+            "unknown cell type `{cellref}` (hierarchical EDIF is not supported; \
+             instances must reference library cells)"
+        ))
+        .with_token(cellref.clone())
+    })?;
+    if kind.is_port() {
+        return Err(e
+            .error(format!(
+                "instance `{name}` instantiates port pseudo-cell `{cellref}`; \
+                 declare a port in the interface instead"
+            ))
+            .with_token(cellref));
+    }
+    Ok(Instance {
+        name,
+        kind,
+        line: e.line,
+        column: e.column,
+    })
+}
+
+fn parse_net(e: &SExpr) -> Result<EdifNet, ParseError> {
+    let items = e.list().expect("caller checked the keyword");
+    let name = parse_name(items.get(1).ok_or_else(|| e.error("net needs a name"))?)?;
+    let joined = items
+        .iter()
+        .find(|i| i.keyword().as_deref() == Some("joined"))
+        .ok_or_else(|| e.error(format!("net `{name}` has no `(joined ...)`")))?;
+    let mut portrefs = Vec::new();
+    for pr in &joined.list().expect("keyword implies list")[1..] {
+        if pr.keyword().as_deref() != Some("portref") {
+            return Err(pr.error("expected `(portref ...)` inside `joined`"));
+        }
+        let pr_items = pr.list().expect("keyword implies list");
+        let port = parse_name(
+            pr_items
+                .get(1)
+                .ok_or_else(|| pr.error("portref needs a port name"))?,
+        )?;
+        let mut instance = None;
+        for extra in &pr_items[2..] {
+            if extra.keyword().as_deref() == Some("instanceref") {
+                instance = Some(parse_name(
+                    extra
+                        .list()
+                        .and_then(|l| l.get(1))
+                        .ok_or_else(|| extra.error("malformed `instanceref`"))?,
+                )?);
+            }
+        }
+        portrefs.push(PortRef {
+            port,
+            instance,
+            line: pr.line,
+            column: pr.column,
+        });
+    }
+    Ok(EdifNet { name, portrefs })
+}
+
+/// Parses one `(cell ...)`, returning its structural payload when the cell
+/// has `contents` (leaf library cells, which only declare an interface,
+/// return `None`).
+fn parse_cell(e: &SExpr) -> Result<Option<TopCell>, ParseError> {
+    let items = e.list().expect("caller checked the keyword");
+    let name = parse_name(items.get(1).ok_or_else(|| e.error("cell needs a name"))?)?;
+    let Some(view) = items
+        .iter()
+        .find(|i| i.keyword().as_deref() == Some("view"))
+    else {
+        return Ok(None);
+    };
+    let view_items = view.list().expect("keyword implies list");
+
+    let mut ports = Vec::new();
+    if let Some(interface) = view_items
+        .iter()
+        .find(|i| i.keyword().as_deref() == Some("interface"))
+    {
+        for item in &interface.list().expect("keyword implies list")[1..] {
+            if item.keyword().as_deref() == Some("port") {
+                ports.push(parse_port(item)?);
+            }
+        }
+    }
+
+    let Some(contents) = view_items
+        .iter()
+        .find(|i| i.keyword().as_deref() == Some("contents"))
+    else {
+        return Ok(None);
+    };
+    let mut instances = Vec::new();
+    let mut nets = Vec::new();
+    for item in &contents.list().expect("keyword implies list")[1..] {
+        match item.keyword().as_deref() {
+            Some("instance") => instances.push(parse_instance(item)?),
+            Some("net") => nets.push(parse_net(item)?),
+            Some("comment") | None => {}
+            Some(other) => {
+                return Err(item
+                    .error(format!("unsupported construct `{other}` in `contents`"))
+                    .with_token(other.to_string()))
+            }
+        }
+    }
+    Ok(Some(TopCell {
+        name,
+        ports,
+        instances,
+        nets,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Netlist construction
+// ---------------------------------------------------------------------------
+
+/// Maps a pin name to its index on `kind` (case-insensitive), distinguishing
+/// inputs from the output pin.
+enum Pin {
+    Input(usize),
+    Output,
+}
+
+fn resolve_pin(kind: CellKind, pin: &str) -> Option<Pin> {
+    if pin.eq_ignore_ascii_case(kind.output_pin_name()) {
+        return Some(Pin::Output);
+    }
+    (0..kind.num_inputs())
+        .find(|&i| pin.eq_ignore_ascii_case(&kind.input_pin_name(i)))
+        .map(Pin::Input)
+}
+
+fn build_netlist(top: TopCell) -> Result<Netlist, ParseError> {
+    let mut netlist = Netlist::new(top.name);
+    let mut input_ports: HashMap<&str, NetId> = HashMap::new();
+    let mut output_ports: Vec<&Port> = Vec::new();
+    for port in &top.ports {
+        match port.direction {
+            Direction::Input => {
+                let (_, net) = netlist.add_input(&port.name);
+                input_ports.insert(port.name.as_str(), net);
+            }
+            Direction::Output => output_ports.push(port),
+        }
+    }
+
+    let instances: HashMap<&str, &Instance> =
+        top.instances.iter().map(|i| (i.name.as_str(), i)).collect();
+
+    // Per-instance pin connections and per-output-port nets, filled while
+    // walking the EDIF nets.
+    let mut connections: HashMap<&str, Vec<Option<NetId>>> = top
+        .instances
+        .iter()
+        .map(|i| (i.name.as_str(), vec![None; i.kind.num_inputs() + 1]))
+        .collect();
+    let mut output_port_nets: HashMap<&str, NetId> = HashMap::new();
+
+    for net in &top.nets {
+        // The electrical net: an EDIF net joined to a top input port aliases
+        // the net that input already drives; otherwise it is created fresh
+        // under its EDIF name.
+        let mut net_id: Option<NetId> = None;
+        for pr in &net.portrefs {
+            if pr.instance.is_none() {
+                if let Some(&driven) = input_ports.get(pr.port.as_str()) {
+                    if let Some(existing) = net_id {
+                        if existing != driven {
+                            return Err(ParseError::new(
+                                pr.line,
+                                pr.column,
+                                format!("net `{}` joins two input ports", net.name),
+                            ));
+                        }
+                    }
+                    net_id = Some(driven);
+                }
+            }
+        }
+        let net_id = net_id.unwrap_or_else(|| netlist.add_net(&net.name));
+
+        for pr in &net.portrefs {
+            match &pr.instance {
+                None => {
+                    if input_ports.contains_key(pr.port.as_str()) {
+                        continue; // already aliased above
+                    }
+                    if top
+                        .ports
+                        .iter()
+                        .any(|p| p.name == pr.port && p.direction == Direction::Output)
+                    {
+                        output_port_nets.insert(pr.port.as_str(), net_id);
+                    } else {
+                        return Err(ParseError::new(
+                            pr.line,
+                            pr.column,
+                            format!("portref `{}` names no declared port", pr.port),
+                        )
+                        .with_token(pr.port.clone()));
+                    }
+                }
+                Some(inst_name) => {
+                    let instance = instances.get(inst_name.as_str()).ok_or_else(|| {
+                        ParseError::new(
+                            pr.line,
+                            pr.column,
+                            format!("instanceref `{inst_name}` names no declared instance"),
+                        )
+                        .with_token(inst_name.clone())
+                    })?;
+                    let pin = resolve_pin(instance.kind, &pr.port).ok_or_else(|| {
+                        ParseError::new(
+                            pr.line,
+                            pr.column,
+                            format!(
+                                "cell `{}` ({}) has no pin `{}`",
+                                inst_name, instance.kind, pr.port
+                            ),
+                        )
+                        .with_token(pr.port.clone())
+                    })?;
+                    let slots = connections
+                        .get_mut(inst_name.as_str())
+                        .expect("instance map is complete");
+                    let slot = match pin {
+                        Pin::Input(i) => &mut slots[i],
+                        Pin::Output => {
+                            let last = slots.len() - 1;
+                            &mut slots[last]
+                        }
+                    };
+                    if slot.is_some() {
+                        return Err(ParseError::new(
+                            pr.line,
+                            pr.column,
+                            format!("pin `{}` of `{inst_name}` is joined twice", pr.port),
+                        ));
+                    }
+                    *slot = Some(net_id);
+                }
+            }
+        }
+    }
+
+    for instance in &top.instances {
+        let slots = &connections[instance.name.as_str()];
+        let mut inputs = Vec::with_capacity(instance.kind.num_inputs());
+        for (i, slot) in slots[..instance.kind.num_inputs()].iter().enumerate() {
+            inputs.push(slot.ok_or_else(|| {
+                ParseError::new(
+                    instance.line,
+                    instance.column,
+                    format!(
+                        "instance `{}`: pin `{}` is not joined to any net",
+                        instance.name,
+                        instance.kind.input_pin_name(i)
+                    ),
+                )
+            })?);
+        }
+        // A dangling output is legal EDIF; give it an anonymous net.
+        let output = if instance.kind.has_output() {
+            Some(
+                slots[instance.kind.num_inputs()]
+                    .unwrap_or_else(|| netlist.add_net(format!("{}__y", instance.name))),
+            )
+        } else {
+            None
+        };
+        netlist
+            .try_add_cell(instance.kind, &instance.name, &inputs, output)
+            .map_err(|e| {
+                ParseError::new(instance.line, instance.column, e.to_string())
+                    .with_token(instance.name.clone())
+            })?;
+    }
+
+    for port in output_ports {
+        let net = output_port_nets.get(port.name.as_str()).ok_or_else(|| {
+            ParseError::new(
+                port.line,
+                port.column,
+                format!("output port `{}` is not joined to any net", port.name),
+            )
+        })?;
+        netlist.add_output(&port.name, *net);
+    }
+    Ok(netlist)
+}
+
+/// Parses a structural EDIF 2.0.0 subset document into a [`Netlist`].
+///
+/// The top cell is the one referenced by the `(design ...)` declaration when
+/// present, otherwise the last cell carrying `contents`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed s-expressions, missing EDIF
+/// structure, unknown cell or pin references, and double-driven nets.
+pub fn parse_edif(text: &str) -> Result<Netlist, ParseError> {
+    let mut lexer = Lexer::new(text);
+    let root = lexer.parse_expr()?;
+    lexer.skip_ws();
+    if lexer.peek().is_some() {
+        return Err(lexer.error("trailing text after the `(edif ...)` document"));
+    }
+    if root.keyword().as_deref() != Some("edif") {
+        return Err(root.error("expected an `(edif ...)` document"));
+    }
+    let items = root.list().expect("keyword implies list");
+
+    let mut design_ref: Option<String> = None;
+    let mut cells: Vec<TopCell> = Vec::new();
+    for item in items.get(2..).unwrap_or(&[]) {
+        match item.keyword().as_deref() {
+            Some("library") | Some("external") => {
+                let library = item.list().expect("keyword implies list");
+                for sub in library.get(2..).unwrap_or(&[]) {
+                    if sub.keyword().as_deref() == Some("cell") {
+                        if let Some(cell) = parse_cell(sub)? {
+                            cells.push(cell);
+                        }
+                    }
+                }
+            }
+            Some("design") => {
+                if let Some(cellref) = item
+                    .list()
+                    .unwrap_or(&[])
+                    .iter()
+                    .find(|i| i.keyword().as_deref() == Some("cellref"))
+                {
+                    design_ref = cellref
+                        .list()
+                        .and_then(|l| l.get(1))
+                        .and_then(|n| parse_name(n).ok());
+                }
+            }
+            _ => {} // edifversion, ediflevel, keywordmap, status, comment, …
+        }
+    }
+
+    let top = match design_ref {
+        Some(name) => {
+            let position = cells.iter().position(|c| c.name == name).ok_or_else(|| {
+                root.error(format!(
+                    "design references cell `{name}`, which has no contents"
+                ))
+            })?;
+            cells.swap_remove(position)
+        }
+        None => cells
+            .pop()
+            .ok_or_else(|| root.error("no cell with `(contents ...)` found"))?,
+    };
+    build_netlist(top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::stats;
+
+    /// A half adder in the supported EDIF subset.
+    const HALF_ADDER: &str = r#"
+(edif ha_design
+  (edifVersion 2 0 0)
+  (edifLevel 0)
+  (keywordMap (keywordLevel 0))
+  (status (written (timeStamp 2013 3 18 12 0 0)))
+  (library work
+    (edifLevel 0)
+    (technology (numberDefinition))
+    (cell XOR2 (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port A0 (direction INPUT))
+                   (port A1 (direction INPUT))
+                   (port Y (direction OUTPUT)))))
+    (cell AND2 (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port A0 (direction INPUT))
+                   (port A1 (direction INPUT))
+                   (port Y (direction OUTPUT)))))
+    (cell ha (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port a (direction INPUT))
+                   (port b (direction INPUT))
+                   (port sum (direction OUTPUT))
+                   (port carry (direction OUTPUT)))
+        (contents
+          (instance u_sum (viewRef netlist (cellRef XOR2 (libraryRef work))))
+          (instance u_carry (viewRef netlist (cellRef AND2 (libraryRef work))))
+          (net n_a (joined (portRef a)
+                           (portRef A0 (instanceRef u_sum))
+                           (portRef A0 (instanceRef u_carry))))
+          (net n_b (joined (portRef b)
+                           (portRef A1 (instanceRef u_sum))
+                           (portRef A1 (instanceRef u_carry))))
+          (net n_sum (joined (portRef Y (instanceRef u_sum)) (portRef sum)))
+          (net n_carry (joined (portRef Y (instanceRef u_carry)) (portRef carry)))))))
+  (design ha (cellRef ha (libraryRef work))))
+"#;
+
+    #[test]
+    fn parses_the_half_adder() {
+        let n = parse_edif(HALF_ADDER).unwrap();
+        assert_eq!(n.name(), "ha");
+        let s = stats(&n);
+        assert_eq!(s.primary_inputs, 2);
+        assert_eq!(s.primary_outputs, 2);
+        assert_eq!(s.combinational_cells, 2);
+        // The AND gate is fed by both inputs.
+        let carry = n.find_cell("u_carry").unwrap();
+        assert_eq!(n.cell(carry).inputs().len(), 2);
+    }
+
+    #[test]
+    fn sequential_cells_and_renames_work() {
+        let src = r#"
+(edif top
+  (library work
+    (cell DFF (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port D (direction INPUT)) (port CK (direction INPUT))
+                   (port Q (direction OUTPUT)))))
+    (cell top (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port d (direction INPUT))
+                   (port ck (direction INPUT))
+                   (port (rename q_r "q.out") (direction OUTPUT)))
+        (contents
+          (instance ff (viewRef netlist (cellRef DFF (libraryRef work))))
+          (net nd (joined (portRef d) (portRef D (instanceRef ff))))
+          (net nck (joined (portRef ck) (portRef CK (instanceRef ff))))
+          (net nq (joined (portRef Q (instanceRef ff)) (portRef (rename q_r "q.out")))))))))
+"#;
+        let n = parse_edif(src).unwrap();
+        assert_eq!(n.sequential_cells().len(), 1);
+        assert_eq!(n.primary_outputs().len(), 1);
+        let po = n.primary_outputs()[0];
+        assert_eq!(n.cell(po).name(), "q.out");
+    }
+
+    #[test]
+    fn missing_pin_is_an_error() {
+        let src = r#"
+(edif top
+  (library work
+    (cell top (cellType GENERIC)
+      (view v (viewType NETLIST)
+        (interface (port a (direction INPUT)) (port y (direction OUTPUT)))
+        (contents
+          (instance u1 (viewRef v (cellRef AND2 (libraryRef work))))
+          (net n1 (joined (portRef a) (portRef A0 (instanceRef u1))))
+          (net n2 (joined (portRef Y (instanceRef u1)) (portRef y))))))))
+"#;
+        let err = parse_edif(src).unwrap_err();
+        assert!(err.message.contains("pin `A1` is not joined"), "{err}");
+    }
+
+    #[test]
+    fn unknown_cell_reports_token_and_location() {
+        let src = r#"
+(edif top
+  (library work
+    (cell top (cellType GENERIC)
+      (view v (viewType NETLIST)
+        (interface (port a (direction INPUT)) (port y (direction OUTPUT)))
+        (contents
+          (instance u1 (viewRef v (cellRef LATCH (libraryRef work))))
+          (net n1 (joined (portRef a) (portRef D (instanceRef u1)))))))))
+"#;
+        let err = parse_edif(src).unwrap_err();
+        assert!(err.message.contains("unknown cell type `LATCH`"), "{err}");
+        assert_eq!(err.token.as_deref(), Some("LATCH"));
+        assert!(err.line >= 8, "line was {}", err.line);
+    }
+
+    #[test]
+    fn unbalanced_parens_are_an_error() {
+        let err = parse_edif("(edif top (library work").unwrap_err();
+        assert!(err.message.contains("unterminated list"), "{err}");
+    }
+
+    #[test]
+    fn structurally_short_documents_error_instead_of_panicking() {
+        // Lists shorter than the grammar expects must produce a ParseError,
+        // never a slice-index panic.
+        for src in [
+            "(edif)",
+            "(edif t)",
+            "(edif t (library))",
+            "(edif t (library w))",
+            "(edif t (library w (cell)))",
+        ] {
+            let err = parse_edif(src).unwrap_err();
+            assert!(
+                err.message.contains("no cell") || err.message.contains("needs a name"),
+                "{src}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_pin_is_an_error() {
+        let src = r#"
+(edif top
+  (library work
+    (cell top (cellType GENERIC)
+      (view v (viewType NETLIST)
+        (interface (port a (direction INPUT)))
+        (contents
+          (instance u1 (viewRef v (cellRef INV (libraryRef work))))
+          (net n1 (joined (portRef a) (portRef ZZ (instanceRef u1)))))))))
+"#;
+        let err = parse_edif(src).unwrap_err();
+        assert!(err.message.contains("has no pin `ZZ`"), "{err}");
+    }
+}

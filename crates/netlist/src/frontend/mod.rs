@@ -1,0 +1,353 @@
+//! Pluggable netlist frontends: format detection and a unified entry point
+//! over the structural readers of this crate.
+//!
+//! Three interchange formats are supported, all mapping onto the same
+//! [`Netlist`] data model and the same cell library:
+//!
+//! * **structural Verilog** — the richest format; full reader *and* writer in
+//!   [`verilog`](crate::verilog);
+//! * **ISCAS-85/89 `.bench`** — the lingua franca of the ATPG literature
+//!   (reader and writer in [`mod@bench`]);
+//! * **structural EDIF 2.0.0 subset** — the s-expression interchange format
+//!   emitted by synthesis tools (reader in [`edif`]).
+//!
+//! [`load_netlist`] dispatches on the file extension (or an explicit
+//! [`Format`]), parses, and then runs the design-rule
+//! [`validate`](crate::validate) pass so that every frontend hands the rest
+//! of the workspace a netlist with the same guarantees the builder provides.
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::frontend::{parse_netlist, Format};
+//!
+//! let src = "
+//! INPUT(a)
+//! INPUT(b)
+//! OUTPUT(s)
+//! s = XOR(a, b)
+//! ";
+//! let n = parse_netlist(src, Format::Bench).unwrap();
+//! assert_eq!(n.primary_inputs().len(), 2);
+//! assert_eq!(n.primary_outputs().len(), 1);
+//! ```
+
+pub mod bench;
+pub mod edif;
+
+use crate::validate::{validate, ValidateOptions, ValidationIssue};
+use crate::Netlist;
+use std::fmt;
+use std::path::Path;
+
+/// Error produced while parsing any of the netlist frontends.
+///
+/// One shared type serves the Verilog, `.bench` and EDIF readers, so that
+/// drivers report source locations uniformly: 1-based line and column of the
+/// point where the problem was detected, plus the offending token when the
+/// parser had one in hand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line where the problem was detected (1-based).
+    pub line: usize,
+    /// Column where the problem was detected (1-based, in characters).
+    pub column: usize,
+    /// The offending token, when the parser had consumed one.
+    pub token: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// A parse error at the given location with no token attached.
+    pub fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            column,
+            token: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the offending token.
+    #[must_use]
+    pub fn with_token(mut self, token: impl Into<String>) -> Self {
+        self.token = Some(token.into());
+        self
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )?;
+        if let Some(token) = &self.token {
+            write!(f, " (near `{token}`)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The netlist interchange formats understood by [`load_netlist`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Flat structural Verilog (see [`verilog`](crate::verilog)).
+    Verilog,
+    /// ISCAS-85/89 `.bench` (see [`mod@bench`]).
+    Bench,
+    /// Structural EDIF 2.0.0 subset (see [`edif`]).
+    Edif,
+}
+
+impl Format {
+    /// Every supported format, for driver `--format` listings.
+    pub const ALL: [Format; 3] = [Format::Verilog, Format::Bench, Format::Edif];
+
+    /// The canonical lowercase name (`verilog`, `bench`, `edif`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Verilog => "verilog",
+            Format::Bench => "bench",
+            Format::Edif => "edif",
+        }
+    }
+
+    /// Parses a format name as used on driver command lines
+    /// (case-insensitive; accepts the canonical names and the common file
+    /// extensions).
+    pub fn from_name(name: &str) -> Option<Format> {
+        match name.to_ascii_lowercase().as_str() {
+            "verilog" | "v" => Some(Format::Verilog),
+            "bench" | "isc" | "iscas" => Some(Format::Bench),
+            "edif" | "edf" | "edn" => Some(Format::Edif),
+            _ => None,
+        }
+    }
+
+    /// Infers the format from a path's extension.
+    pub fn from_path(path: &Path) -> Option<Format> {
+        Format::from_name(path.extension()?.to_str()?)
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error produced by [`load_netlist`].
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// No format was given and the extension is not recognised.
+    UnknownFormat {
+        /// The offending path.
+        path: String,
+    },
+    /// The file was read but did not parse.
+    Parse {
+        /// The format the file was parsed as.
+        format: Format,
+        /// The underlying parse error.
+        error: ParseError,
+    },
+    /// The file parsed but violates the netlist design rules (floating nets,
+    /// combinational loops, gated clocks).
+    Validation {
+        /// Every issue the [`validate`](crate::validate) pass found.
+        issues: Vec<ValidationIssue>,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io { path, error } => write!(f, "cannot read `{path}`: {error}"),
+            LoadError::UnknownFormat { path } => write!(
+                f,
+                "cannot infer a netlist format from `{path}` \
+                 (expected a .v/.bench/.edif extension or an explicit format)"
+            ),
+            LoadError::Parse { format, error } => write!(f, "{format} {error}"),
+            LoadError::Validation { issues } => {
+                write!(f, "netlist violates design rules:")?;
+                for issue in issues {
+                    write!(f, "\n  - {issue}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io { error, .. } => Some(error),
+            LoadError::Parse { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Parses netlist text in the given format.
+///
+/// This is the string-level half of [`load_netlist`]; no validation pass is
+/// run, so structurally incomplete netlists (e.g. a manipulation snapshot
+/// with floating nets) can be round-tripped.
+///
+/// # Errors
+///
+/// Returns the shared frontend [`ParseError`] on any syntax error, reference
+/// to an unknown net, or instantiation of a cell type outside the library.
+pub fn parse_netlist(text: &str, format: Format) -> Result<Netlist, ParseError> {
+    match format {
+        Format::Verilog => crate::verilog::parse_verilog(text),
+        Format::Bench => bench::parse_bench(text),
+        Format::Edif => edif::parse_edif(text),
+    }
+}
+
+/// Loads a netlist from `path`, dispatching on `format` (or on the file
+/// extension when `format` is `None`), then validates the result with the
+/// default design rules.
+///
+/// # Errors
+///
+/// See [`LoadError`].
+pub fn load_netlist(path: impl AsRef<Path>, format: Option<Format>) -> Result<Netlist, LoadError> {
+    let path = path.as_ref();
+    let format = match format.or_else(|| Format::from_path(path)) {
+        Some(format) => format,
+        None => {
+            return Err(LoadError::UnknownFormat {
+                path: path.display().to_string(),
+            })
+        }
+    };
+    let text = std::fs::read_to_string(path).map_err(|error| LoadError::Io {
+        path: path.display().to_string(),
+        error,
+    })?;
+    let netlist =
+        parse_netlist(&text, format).map_err(|error| LoadError::Parse { format, error })?;
+    let issues = validate(&netlist, ValidateOptions::default());
+    if issues.is_empty() {
+        Ok(netlist)
+    } else {
+        Err(LoadError::Validation { issues })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_names_roundtrip() {
+        for format in Format::ALL {
+            assert_eq!(Format::from_name(format.name()), Some(format));
+            assert_eq!(format.to_string(), format.name());
+        }
+        assert_eq!(Format::from_name("EDF"), Some(Format::Edif));
+        assert_eq!(Format::from_name("vhdl"), None);
+    }
+
+    #[test]
+    fn format_from_path_uses_the_extension() {
+        assert_eq!(
+            Format::from_path(Path::new("designs/c432.bench")),
+            Some(Format::Bench)
+        );
+        assert_eq!(Format::from_path(Path::new("soc.v")), Some(Format::Verilog));
+        assert_eq!(Format::from_path(Path::new("top.EDIF")), Some(Format::Edif));
+        assert_eq!(Format::from_path(Path::new("README")), None);
+    }
+
+    #[test]
+    fn parse_error_display_includes_line_column_and_token() {
+        let plain = ParseError::new(3, 14, "expected `;`");
+        assert_eq!(
+            plain.to_string(),
+            "parse error at line 3, column 14: expected `;`"
+        );
+        let with_token = ParseError::new(7, 2, "unknown cell type `FOO`").with_token("FOO");
+        assert_eq!(
+            with_token.to_string(),
+            "parse error at line 7, column 2: unknown cell type `FOO` (near `FOO`)"
+        );
+    }
+
+    #[test]
+    fn parse_netlist_dispatches_on_format() {
+        let verilog = "module m (a, y); input a; output y; INV u (.A(a), .Y(y)); endmodule";
+        let bench = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+        let nv = parse_netlist(verilog, Format::Verilog).unwrap();
+        let nb = parse_netlist(bench, Format::Bench).unwrap();
+        assert_eq!(nv.primary_inputs().len(), nb.primary_inputs().len());
+        assert!(parse_netlist(bench, Format::Verilog).is_err());
+    }
+
+    #[test]
+    fn load_netlist_reports_unknown_extension() {
+        let err = load_netlist("/nonexistent/design.xyz", None).unwrap_err();
+        assert!(matches!(err, LoadError::UnknownFormat { .. }), "{err}");
+        assert!(err.to_string().contains("design.xyz"));
+    }
+
+    #[test]
+    fn load_netlist_reports_io_errors() {
+        let err = load_netlist("/nonexistent/design.bench", None).unwrap_err();
+        assert!(matches!(err, LoadError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn load_netlist_parses_and_validates_a_file() {
+        // Per-process directory so concurrent test runs (or other users on
+        // a shared machine) never collide; removed at the end.
+        let dir = std::env::temp_dir().join(format!("frontend_mod_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("ha.bench");
+        std::fs::write(&good, "INPUT(a)\nINPUT(b)\nOUTPUT(s)\ns = XOR(a, b)\n").unwrap();
+        let n = load_netlist(&good, None).unwrap();
+        assert_eq!(n.primary_inputs().len(), 2);
+
+        // An undriven net fails at parse time; a combinational loop parses
+        // but fails the validation pass.
+        let bad = dir.join("floating.bench");
+        std::fs::write(
+            &bad,
+            "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\nghost2 = NOT(a)\n",
+        )
+        .unwrap();
+        let err = load_netlist(&bad, None).unwrap_err();
+        assert!(
+            matches!(err, LoadError::Parse { .. }),
+            "undriven nets are caught at parse time: {err}"
+        );
+        let looped = dir.join("looped.bench");
+        std::fs::write(
+            &looped,
+            "INPUT(a)\nOUTPUT(y)\np = NAND(a, q)\nq = NAND(a, p)\ny = BUFF(p)\n",
+        )
+        .unwrap();
+        let err = load_netlist(&looped, None).unwrap_err();
+        assert!(
+            matches!(err, LoadError::Validation { .. }),
+            "combinational loops are caught by validation: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,7 +15,10 @@
 //!   generators;
 //! * **graph algorithms** ([`graph`]): levelization, fan-in/fan-out cones;
 //! * **validation** ([`validate`]) and **statistics** ([`stats`]);
-//! * a **structural Verilog** subset reader/writer ([`verilog`]).
+//! * a **structural Verilog** subset reader/writer ([`verilog`]);
+//! * pluggable **netlist frontends** ([`frontend`]): ISCAS-85/89 `.bench`
+//!   reader/writer, a structural EDIF-subset reader, and the unified
+//!   format-dispatching [`load_netlist`] entry point.
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@
 
 mod builder;
 mod cell;
+pub mod frontend;
 pub mod graph;
 mod ids;
 #[allow(clippy::module_inception)]
@@ -50,6 +54,7 @@ pub mod verilog;
 
 pub use builder::{NetlistBuilder, Word};
 pub use cell::{Cell, CellAttrs, CellKind, Reset};
+pub use frontend::{load_netlist, Format, LoadError, ParseError};
 pub use ids::{CellId, NetId, PinIndex, PinRef};
 pub use netlist::{Net, Netlist, NetlistError};
 pub use stats::NetlistStats;

@@ -8,28 +8,11 @@
 
 use crate::{CellKind, NetId, Netlist};
 use std::collections::HashMap;
-use std::fmt;
 
-/// Error produced while parsing structural Verilog.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ParseError {
-    /// Line where the problem was detected (1-based).
-    pub line: usize,
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "verilog parse error at line {}: {}",
-            self.line, self.message
-        )
-    }
-}
-
-impl std::error::Error for ParseError {}
+/// Error produced while parsing structural Verilog — the shared frontend
+/// error type, re-exported here for backwards compatibility (it carries the
+/// 1-based line *and column* plus the offending token, when known).
+pub use crate::frontend::ParseError;
 
 fn needs_escape(name: &str) -> bool {
     name.is_empty()
@@ -139,6 +122,10 @@ struct Lexer<'a> {
     text: &'a str,
     pos: usize,
     line: usize,
+    column: usize,
+    /// Location where the most recent token started, for error reporting.
+    token_line: usize,
+    token_column: usize,
 }
 
 impl<'a> Lexer<'a> {
@@ -147,14 +134,15 @@ impl<'a> Lexer<'a> {
             text,
             pos: 0,
             line: 1,
+            column: 1,
+            token_line: 1,
+            token_column: 1,
         }
     }
 
-    fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            line: self.line,
-            message: message.into(),
-        }
+    /// A parse error at the current scan position (for lexical errors).
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.column, message)
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -162,6 +150,9 @@ impl<'a> Lexer<'a> {
         self.pos += c.len_utf8();
         if c == '\n' {
             self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
         }
         Some(c)
     }
@@ -194,7 +185,7 @@ impl<'a> Lexer<'a> {
                                     break;
                                 }
                                 Some(_) => {}
-                                None => return Err(self.error("unterminated block comment")),
+                                None => return Err(self.error_here("unterminated block comment")),
                             }
                         }
                     } else {
@@ -208,6 +199,8 @@ impl<'a> Lexer<'a> {
 
     fn next_token(&mut self) -> Result<Option<Token>, ParseError> {
         self.skip_ws_and_comments()?;
+        self.token_line = self.line;
+        self.token_column = self.column;
         let Some(c) = self.peek() else {
             return Ok(None);
         };
@@ -239,16 +232,34 @@ impl<'a> Lexer<'a> {
     }
 }
 
+/// Renders a token for the [`ParseError::token`] field.
+fn token_text(token: &Token) -> String {
+    match token {
+        Token::Ident(s) => s.clone(),
+        Token::Symbol(c) => c.to_string(),
+    }
+}
+
 struct Parser<'a> {
     lexer: Lexer<'a>,
     lookahead: Option<Token>,
+    /// Source location of the lookahead token.
+    look_pos: (usize, usize),
+    /// Source location of the most recently consumed token.
+    last_pos: (usize, usize),
 }
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Result<Self, ParseError> {
         let mut lexer = Lexer::new(text);
         let lookahead = lexer.next_token()?;
-        Ok(Parser { lexer, lookahead })
+        let look_pos = (lexer.token_line, lexer.token_column);
+        Ok(Parser {
+            lexer,
+            lookahead,
+            look_pos,
+            last_pos: (1, 1),
+        })
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -257,25 +268,33 @@ impl<'a> Parser<'a> {
 
     fn advance(&mut self) -> Result<Option<Token>, ParseError> {
         let current = self.lookahead.take();
+        self.last_pos = self.look_pos;
         self.lookahead = self.lexer.next_token()?;
+        self.look_pos = (self.lexer.token_line, self.lexer.token_column);
         Ok(current)
+    }
+
+    /// A parse error located at the most recently consumed token, carrying
+    /// that token when one was consumed.
+    fn error_at_last(&self, message: impl Into<String>, token: Option<&Token>) -> ParseError {
+        let mut error = ParseError::new(self.last_pos.0, self.last_pos.1, message);
+        if let Some(token) = token {
+            error = error.with_token(token_text(token));
+        }
+        error
     }
 
     fn expect_symbol(&mut self, sym: char) -> Result<(), ParseError> {
         match self.advance()? {
             Some(Token::Symbol(c)) if c == sym => Ok(()),
-            other => Err(self
-                .lexer
-                .error(format!("expected `{sym}`, found {other:?}"))),
+            other => Err(self.error_at_last(format!("expected `{sym}`"), other.as_ref())),
         }
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.advance()? {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(self
-                .lexer
-                .error(format!("expected identifier, found {other:?}"))),
+            other => Err(self.error_at_last("expected identifier", other.as_ref())),
         }
     }
 
@@ -284,10 +303,17 @@ impl<'a> Parser<'a> {
         if ident == kw {
             Ok(())
         } else {
-            Err(self
-                .lexer
-                .error(format!("expected `{kw}`, found `{ident}`")))
+            Err(self.error_at_last(format!("expected `{kw}`"), Some(&Token::Ident(ident))))
         }
+    }
+
+    /// A parse error located at the lookahead (not yet consumed) token.
+    fn error_at_look(&self, message: impl Into<String>) -> ParseError {
+        let mut error = ParseError::new(self.look_pos.0, self.look_pos.1, message);
+        if let Some(token) = &self.lookahead {
+            error = error.with_token(token_text(token));
+        }
+        error
     }
 
     fn ident_list_until_semicolon(&mut self) -> Result<Vec<String>, ParseError> {
@@ -297,11 +323,7 @@ impl<'a> Parser<'a> {
             match self.advance()? {
                 Some(Token::Symbol(',')) => continue,
                 Some(Token::Symbol(';')) => break,
-                other => {
-                    return Err(self
-                        .lexer
-                        .error(format!("expected `,` or `;`, found {other:?}")))
-                }
+                other => return Err(self.error_at_last("expected `,` or `;`", other.as_ref())),
             }
         }
         Ok(names)
@@ -325,11 +347,7 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseError> {
         match p.advance()? {
             Some(Token::Symbol(')')) => break,
             Some(Token::Ident(_)) | Some(Token::Symbol(',')) => continue,
-            other => {
-                return Err(p
-                    .lexer
-                    .error(format!("unexpected token in port list: {other:?}")))
-            }
+            other => return Err(p.error_at_last("unexpected token in port list", other.as_ref())),
         }
     }
     p.expect_symbol(';')?;
@@ -339,10 +357,10 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseError> {
 
     loop {
         let Some(tok) = p.peek().cloned() else {
-            return Err(p.lexer.error("unexpected end of file, missing `endmodule`"));
+            return Err(p.error_at_last("unexpected end of file, missing `endmodule`", None));
         };
         let Token::Ident(word) = tok else {
-            return Err(p.lexer.error(format!("unexpected token {tok:?}")));
+            return Err(p.error_at_look("unexpected token"));
         };
         match word.as_str() {
             "endmodule" => {
@@ -378,8 +396,10 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseError> {
             _ => {
                 // Cell instance: TYPE name ( .PIN(net), ... );
                 p.advance()?;
-                let kind = CellKind::from_lib_name(&word)
-                    .ok_or_else(|| p.lexer.error(format!("unknown cell type `{word}`")))?;
+                let kind = CellKind::from_lib_name(&word).ok_or_else(|| {
+                    p.error_at_last(format!("unknown cell type `{word}`"), None)
+                        .with_token(word.clone())
+                })?;
                 let inst_name = p.expect_ident()?;
                 p.expect_symbol('(')?;
                 let mut connections: HashMap<String, String> = HashMap::new();
@@ -395,9 +415,9 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseError> {
                             connections.insert(pin, net);
                         }
                         other => {
-                            return Err(p
-                                .lexer
-                                .error(format!("unexpected token in connections: {other:?}")))
+                            return Err(
+                                p.error_at_last("unexpected token in connections", other.as_ref())
+                            )
                         }
                     }
                 }
@@ -406,35 +426,45 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseError> {
                 for pin in 0..kind.num_inputs() {
                     let pin_name = kind.input_pin_name(pin).into_owned();
                     let net_name = connections.get(&pin_name).ok_or_else(|| {
-                        p.lexer.error(format!(
-                            "instance `{inst_name}`: missing connection for pin `{pin_name}`"
-                        ))
+                        p.error_at_last(
+                            format!(
+                                "instance `{inst_name}`: missing connection for pin `{pin_name}`"
+                            ),
+                            None,
+                        )
                     })?;
                     let net = *nets.get(net_name).ok_or_else(|| {
-                        p.lexer.error(format!(
-                            "instance `{inst_name}`: undeclared net `{net_name}`"
-                        ))
+                        p.error_at_last(
+                            format!("instance `{inst_name}`: undeclared net `{net_name}`"),
+                            None,
+                        )
+                        .with_token(net_name.clone())
                     })?;
                     input_ids.push(net);
                 }
                 let output_id = if kind.has_output() {
                     let pin_name = kind.output_pin_name();
                     let net_name = connections.get(pin_name).ok_or_else(|| {
-                        p.lexer.error(format!(
-                            "instance `{inst_name}`: missing connection for pin `{pin_name}`"
-                        ))
+                        p.error_at_last(
+                            format!(
+                                "instance `{inst_name}`: missing connection for pin `{pin_name}`"
+                            ),
+                            None,
+                        )
                     })?;
                     Some(*nets.get(net_name).ok_or_else(|| {
-                        p.lexer.error(format!(
-                            "instance `{inst_name}`: undeclared net `{net_name}`"
-                        ))
+                        p.error_at_last(
+                            format!("instance `{inst_name}`: undeclared net `{net_name}`"),
+                            None,
+                        )
+                        .with_token(net_name.clone())
                     })?)
                 } else {
                     None
                 };
                 netlist
                     .try_add_cell(kind, &inst_name, &input_ids, output_id)
-                    .map_err(|e| p.lexer.error(e.to_string()))?;
+                    .map_err(|e| p.error_at_last(e.to_string(), None))?;
             }
         }
     }
@@ -564,5 +594,28 @@ endmodule
         let err = parse_verilog(src).unwrap_err();
         assert!(err.line >= 3, "line was {}", err.line);
         assert!(err.to_string().contains("line"));
+    }
+
+    #[test]
+    fn error_reports_column_and_token() {
+        // The bogus cell type starts at column 3 of line 3.
+        let src = "module m (a, y);\n  input a; output y;\n  FOO u1 (.A(a), .Y(y));\nendmodule";
+        let err = parse_verilog(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.column, 3);
+        assert_eq!(err.token.as_deref(), Some("FOO"));
+        assert_eq!(
+            err.to_string(),
+            "parse error at line 3, column 3: unknown cell type `FOO` (near `FOO`)"
+        );
+    }
+
+    #[test]
+    fn expectation_errors_carry_the_found_token() {
+        let err = parse_verilog("module m [a);").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("["));
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 10, "column of the `[`");
+        assert!(err.to_string().contains("near `[`"), "{err}");
     }
 }

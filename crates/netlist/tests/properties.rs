@@ -1,9 +1,11 @@
-//! Property-based tests on the netlist data structures and the word-level
-//! builder helpers.
+//! Property-based tests on the netlist data structures, the word-level
+//! builder helpers, and the netlist frontends (Verilog and `.bench`
+//! round-trips).
 
+use netlist::frontend::bench;
 use netlist::{graph, stats::stats, verilog, CellKind, NetId, Netlist, NetlistBuilder};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Recursive two-valued evaluation used as a reference model in properties.
 fn eval(netlist: &Netlist, env: &HashMap<NetId, bool>, net: NetId) -> bool {
@@ -149,6 +151,88 @@ proptest! {
         prop_assert_eq!(s1.flip_flops, s2.flip_flops);
         prop_assert_eq!(s1.primary_inputs, s2.primary_inputs);
         prop_assert_eq!(s1.primary_outputs, s2.primary_outputs);
+    }
+
+    #[test]
+    fn bench_roundtrip_preserves_counts(width in 2usize..6, use_ff in any::<bool>(), use_mux in any::<bool>()) {
+        // Mirrors `verilog_roundtrip_preserves_counts` for the `.bench`
+        // frontend, including the implicit-clock handling (`#@ clock`) and
+        // the MUX/TIE extensions.
+        let mut builder = NetlistBuilder::new("bench_rt");
+        let a = builder.input_bus("a", width);
+        let b = builder.input_bus("b", width);
+        let ck = builder.input("ck");
+        let x = builder.xor_word(&a, &b);
+        let x = if use_mux {
+            let sel = builder.input("sel");
+            let one = builder.tie1();
+            let masked: Vec<NetId> = x.iter().map(|&n| builder.and2(n, one)).collect();
+            builder.mux2_word(&x, &masked, sel)
+        } else {
+            x
+        };
+        let out = if use_ff { builder.register(&x, ck) } else { x };
+        builder.output_bus("y", &out);
+        let n = builder.finish();
+        let text = bench::write_bench(&n).expect("builder netlists are bench-expressible");
+        let parsed = bench::parse_bench(&text).unwrap();
+        let s1 = stats(&n);
+        let s2 = stats(&parsed);
+        prop_assert_eq!(s1.combinational_cells, s2.combinational_cells);
+        prop_assert_eq!(s1.flip_flops, s2.flip_flops);
+        prop_assert_eq!(s1.primary_inputs, s2.primary_inputs);
+        prop_assert_eq!(s1.primary_outputs, s2.primary_outputs);
+        prop_assert_eq!(s1.tie_cells, s2.tie_cells);
+        // Input nets keep their names through the round-trip.
+        let names = |n: &Netlist| -> BTreeSet<String> {
+            n.primary_input_nets()
+                .into_iter()
+                .map(|id| n.net(id).name().to_string())
+                .collect()
+        };
+        prop_assert_eq!(names(&n), names(&parsed));
+    }
+
+    #[test]
+    fn verilog_escaped_identifiers_roundtrip(
+        raw_names in prop::collection::vec(prop::collection::vec(33u8..127u8, 1..10), 2..6),
+        digit in 0u8..10,
+    ) {
+        // Hardens the escaped-identifier path: digit-leading names,
+        // `$`-containing names, and names made of arbitrary printable
+        // characters (whose escaped form is delimited only by the adjacent
+        // whitespace) must all survive a write→parse round-trip.
+        let mut names: BTreeSet<String> = raw_names
+            .iter()
+            .map(|bytes| bytes.iter().map(|&b| b as char).collect::<String>())
+            .collect();
+        names.insert(format!("{digit}digit_leading"));
+        names.insert("with$dollar".to_string());
+        names.insert("sym(),;=".to_string());
+        let names: Vec<String> = names.into_iter().collect();
+
+        let mut builder = NetlistBuilder::new("esc_rt");
+        let ins: Vec<NetId> = names.iter().map(|n| builder.input(n)).collect();
+        let mut acc = ins[0];
+        for &next in &ins[1..] {
+            acc = builder.xor2(acc, next);
+        }
+        builder.output("y", acc);
+        let n = builder.finish();
+
+        let text = verilog::write_verilog(&n);
+        let parsed = verilog::parse_verilog(&text).unwrap();
+        prop_assert_eq!(parsed.primary_inputs().len(), names.len());
+        let input_names: BTreeSet<String> = parsed
+            .primary_input_nets()
+            .into_iter()
+            .map(|id| parsed.net(id).name().to_string())
+            .collect();
+        prop_assert_eq!(input_names, names.into_iter().collect::<BTreeSet<_>>());
+        prop_assert_eq!(
+            stats(&parsed).combinational_cells,
+            stats(&n).combinational_cells
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod prelude {
     pub use cpu::soc::{Soc, SocBuilder};
     pub use dft::scan::ScanConfig;
     pub use faultmodel::{FaultClass, FaultList, StuckAt};
+    pub use netlist::frontend::{load_netlist, Format};
     pub use netlist::{CellKind, Netlist, NetlistBuilder};
+    pub use online_untestable::design::{ConstraintSpec, Design, NetlistDesign};
     pub use online_untestable::flow::{FlowConfig, IdentificationFlow};
     pub use online_untestable::report::IdentificationReport;
 }

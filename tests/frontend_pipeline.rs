@@ -1,0 +1,87 @@
+//! End-to-end coverage of the decoupled pipeline: load committed circuits
+//! through every frontend and run the generic screen+proof flow — the same
+//! path the `untestable` CLI drives.
+
+use untestable_repro::prelude::*;
+
+fn circuit(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("circuits")
+        .join(name)
+}
+
+#[test]
+fn synth_c432_screen_plus_proof_matches_the_cli_run() {
+    let netlist = load_netlist(circuit("synth_c432.bench"), None).unwrap();
+    let spec =
+        ConstraintSpec::parse(&std::fs::read_to_string(circuit("synth_c432.mission")).unwrap())
+            .unwrap();
+    let design = NetlistDesign::with_constraints(netlist, &spec).unwrap();
+    let report = IdentificationFlow::new(FlowConfig::full_pipeline())
+        .run(&design)
+        .unwrap();
+    // The pipeline degrades to screen + proof for a pure netlist.
+    let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["baseline", "debug-control", "debug-observe", "atpg-proof"],
+        "{report}"
+    );
+    // Exact deterministic results on the committed circuit + spec (the
+    // proof engine is thread-invariant); these are the numbers the CLI
+    // walkthrough in EXPERIMENTS.md advertises.
+    assert_eq!(report.total_faults, 1136, "{report}");
+    assert_eq!(report.total_untestable(), 184, "{report}");
+    assert_eq!(
+        report.count_for(faultmodel::UntestableSource::AtpgProof),
+        27,
+        "{report}"
+    );
+    assert_eq!(
+        report.count_for(faultmodel::UntestableSource::DebugControl),
+        60,
+        "{report}"
+    );
+    assert_eq!(
+        report.count_for(faultmodel::UntestableSource::DebugObservation),
+        97,
+        "{report}"
+    );
+    assert_eq!(
+        report.total_faults,
+        report.counts.total(),
+        "report consistent"
+    );
+}
+
+#[test]
+fn every_frontend_feeds_the_same_pipeline() {
+    for file in ["c17.bench", "s27.bench", "half_adder.edif"] {
+        let netlist = load_netlist(circuit(file), None).unwrap();
+        let design = NetlistDesign::new(netlist);
+        let report = IdentificationFlow::new(FlowConfig::full_pipeline())
+            .run(&design)
+            .unwrap();
+        // Unconstrained circuits: baseline + proof only, and these classic
+        // circuits are fully testable.
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["baseline", "atpg-proof"], "{file}: {report}");
+        assert_eq!(report.total_untestable(), 0, "{file}: {report}");
+    }
+}
+
+#[test]
+fn soc_netlist_roundtrips_through_the_verilog_frontend() {
+    // The SoC's own netlist survives a write→parse round-trip through the
+    // frontend entry point, preserving its fault universe size.
+    use netlist::verilog::write_verilog;
+    use netlist::{frontend::parse_netlist, stats::stats};
+    let soc = SocBuilder::small().build();
+    let text = write_verilog(&soc.netlist);
+    let parsed = parse_netlist(&text, Format::Verilog).unwrap();
+    let s1 = stats(&soc.netlist);
+    let s2 = stats(&parsed);
+    assert_eq!(s1.stuck_at_faults(), s2.stuck_at_faults());
+    assert_eq!(s1.scan_flip_flops, s2.scan_flip_flops);
+    assert_eq!(s1.primary_inputs, s2.primary_inputs);
+}
