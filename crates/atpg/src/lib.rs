@@ -17,10 +17,12 @@
 //!   **structural untestability analysis** ([`analysis`]) that classifies
 //!   faults as tied / blocked / unused — the step the paper delegates to
 //!   "any EDA tool able to identify structural untestable faults";
-//! * **PODEM** test generation with redundancy proofs ([`podem`]) and the
+//! * **PODEM** test generation with redundancy proofs ([`podem`]), a
+//!   **SAT proof backend** ([`cnf`]) that encodes the cone-clipped fault
+//!   machine into CNF for the vendored CDCL core (`sat`), and the
 //!   **parallel untestability proof engine** ([`proof`]) that fans the
-//!   constraint-aware PODEM out across worker threads for the identification
-//!   flow's proof stage;
+//!   constraint-aware PODEM out across worker threads and escalates aborted
+//!   searches to the SAT backend (the PODEM/SAT portfolio);
 //! * **SCOAP** testability measures ([`scoap`]);
 //! * random + deterministic **test-generation campaigns** ([`tpg`]).
 //!
@@ -55,6 +57,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod cnf;
 pub mod compiled;
 pub mod constant;
 pub mod fault_sim;
@@ -66,12 +69,16 @@ pub mod sim;
 pub mod tpg;
 
 pub use analysis::{AnalysisConfig, AnalysisOutcome, StructuralAnalysis};
+pub use cnf::{SatProver, SatVerdict};
 pub use compiled::{CompiledProgram, PackedInjection, PackedScratch, PackedVectors, SimScratch};
 pub use constant::{propagate_constants, ConstantValues, ConstraintSet};
 pub use fault_sim::{FaultSim, FaultSimOutcome, InputVector};
 pub use logic::Logic;
 pub use podem::{Podem, PodemConfig, PodemOutcome, ProofOutcome, TestPattern};
-pub use proof::{prove_faults, ProofConfig, ProofStats};
+pub use proof::{
+    prove_faults, prove_faults_with_engines, EngineBreakdown, EngineOutcome, ProofConfig,
+    ProofEngine, ProofStats,
+};
 pub use scoap::{compute_scoap, Scoap, SCOAP_INFINITY};
 pub use sim::{CombSim, SeqSim};
 pub use tpg::{run_campaign, TpgConfig, TpgOutcome};

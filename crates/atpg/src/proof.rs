@@ -27,7 +27,19 @@
 //! simulation buffers), chunks of faults are claimed from a shared atomic
 //! cursor, and every per-fault outcome is independent of scheduling — the
 //! multi-threaded run classifies *identically* to the single-threaded one.
+//!
+//! With [`ProofConfig::use_sat`] the fan-out becomes a **portfolio**: each
+//! fault runs PODEM under its backtrack budget first, and an abort escalates
+//! to the SAT backend ([`crate::cnf`]) — the cone-clipped fault machine is
+//! encoded into CNF and handed to the CDCL core under
+//! [`ProofConfig::sat_conflict_limit`]. `Unsat` is a completed untestability
+//! proof, a model is a simulation-verified test, and conflict-budget
+//! exhaustion keeps the abort (never conflated with a verdict). Each verdict
+//! records the engine that produced it ([`EngineOutcome`]), and the CNF is
+//! built deterministically, so the portfolio keeps the thread-invariance
+//! guarantee.
 
+use crate::cnf::{SatProver, SatVerdict};
 use crate::constant::ConstraintSet;
 use crate::podem::{Podem, PodemConfig, ProofOutcome};
 use faultmodel::{collapse_with_barriers, FaultList, StuckAt};
@@ -62,6 +74,15 @@ pub struct ProofConfig {
     /// [`PodemConfig::x_path_check`]). Off reproduces the pre-acceleration
     /// reference engine exactly.
     pub use_x_path: bool,
+    /// Escalate PODEM aborts to the SAT backend ([`crate::cnf`]): the
+    /// cone-clipped fault machine is encoded into CNF and the CDCL core
+    /// attempts the verdict the search engine gave up on. Off by default so
+    /// the engine-level behaviour (and abort semantics) is unchanged unless
+    /// a caller opts into the portfolio.
+    pub use_sat: bool,
+    /// Conflict budget per SAT escalation; exhaustion keeps the fault
+    /// aborted. `u64::MAX` is effectively unbounded.
+    pub sat_conflict_limit: u64,
 }
 
 impl Default for ProofConfig {
@@ -73,6 +94,8 @@ impl Default for ProofConfig {
             cone_clip: true,
             use_scoap: true,
             use_x_path: true,
+            use_sat: false,
+            sat_conflict_limit: 20_000,
         }
     }
 }
@@ -130,23 +153,140 @@ impl ProofStats {
     }
 }
 
-fn encode(outcome: ProofOutcome) -> u8 {
-    match outcome {
-        ProofOutcome::TestExists => 1,
-        ProofOutcome::ProvenUntestable => 2,
-        ProofOutcome::Aborted => 3,
+/// The engine that produced a fault's final verdict in the portfolio.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ProofEngine {
+    /// The PODEM search engine (also recorded when a SAT escalation declined
+    /// the fault as unsupported, leaving PODEM's abort in place).
+    Podem,
+    /// The SAT (CDCL) proof backend — including escalations whose conflict
+    /// budget ran out, which stay `Aborted` but are attributed to the SAT
+    /// attempt.
+    Sat,
+}
+
+/// A per-fault verdict tagged with the engine that produced it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EngineOutcome {
+    /// The verdict.
+    pub outcome: ProofOutcome,
+    /// The engine responsible for it. A collapse-expanded member carries its
+    /// class representative's engine: that is the proof that covers it.
+    pub engine: ProofEngine,
+}
+
+/// Per-engine tally of a portfolio run: how the final verdicts split between
+/// the PODEM search and the SAT escalations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineBreakdown {
+    /// PODEM verdicts: test exists.
+    pub podem_test_exists: usize,
+    /// PODEM verdicts: proven untestable.
+    pub podem_proven: usize,
+    /// PODEM verdicts: aborted (includes SAT escalations declined as
+    /// unsupported).
+    pub podem_aborted: usize,
+    /// SAT verdicts: test exists (model replayed through simulation).
+    pub sat_test_exists: usize,
+    /// SAT verdicts: proven untestable (UNSAT under the mission assumptions).
+    pub sat_proven: usize,
+    /// SAT escalations whose conflict budget ran out: still aborted.
+    pub sat_aborted: usize,
+}
+
+impl EngineBreakdown {
+    /// Tallies a slice of engine-tagged outcomes.
+    pub fn from_outcomes(outcomes: &[EngineOutcome]) -> Self {
+        let mut b = EngineBreakdown::default();
+        for o in outcomes {
+            let slot = match (o.engine, o.outcome) {
+                (ProofEngine::Podem, ProofOutcome::TestExists) => &mut b.podem_test_exists,
+                (ProofEngine::Podem, ProofOutcome::ProvenUntestable) => &mut b.podem_proven,
+                (ProofEngine::Podem, ProofOutcome::Aborted) => &mut b.podem_aborted,
+                (ProofEngine::Sat, ProofOutcome::TestExists) => &mut b.sat_test_exists,
+                (ProofEngine::Sat, ProofOutcome::ProvenUntestable) => &mut b.sat_proven,
+                (ProofEngine::Sat, ProofOutcome::Aborted) => &mut b.sat_aborted,
+            };
+            *slot += 1;
+        }
+        b
     }
 }
 
-fn decode(code: u8) -> ProofOutcome {
-    match code {
-        1 => ProofOutcome::TestExists,
-        2 => ProofOutcome::ProvenUntestable,
-        3 => ProofOutcome::Aborted,
+fn encode(result: EngineOutcome) -> u8 {
+    let base = match result.outcome {
+        ProofOutcome::TestExists => 1,
+        ProofOutcome::ProvenUntestable => 2,
+        ProofOutcome::Aborted => 3,
+    };
+    match result.engine {
+        ProofEngine::Podem => base,
+        ProofEngine::Sat => base + 3,
+    }
+}
+
+fn decode(code: u8) -> EngineOutcome {
+    let engine = if code >= 4 {
+        ProofEngine::Sat
+    } else {
+        ProofEngine::Podem
+    };
+    let outcome = match code {
+        1 | 4 => ProofOutcome::TestExists,
+        2 | 5 => ProofOutcome::ProvenUntestable,
+        3 | 6 => ProofOutcome::Aborted,
         // 0 is the never-written initializer: a fan-out scheduling bug that
         // skipped a fault. Mapping it to `Aborted` would disguise the bug as
         // a legitimate budget give-up, so fail loudly instead.
         other => panic!("proof fan-out left a fault unvisited (result code {other})"),
+    };
+    EngineOutcome { outcome, engine }
+}
+
+/// Proves one fault on the portfolio: PODEM first, SAT escalation on abort
+/// (when enabled). The SAT engine is built lazily on the first abort so the
+/// common all-concluded path never pays for it.
+fn prove_one<'a>(
+    netlist: &'a Netlist,
+    constraints: &ConstraintSet,
+    config: &ProofConfig,
+    podem: &mut Podem<'a>,
+    sat_engine: &mut Option<SatProver<'a>>,
+    fault: StuckAt,
+) -> EngineOutcome {
+    let outcome = podem.prove(fault);
+    if outcome != ProofOutcome::Aborted || !config.use_sat {
+        return EngineOutcome {
+            outcome,
+            engine: ProofEngine::Podem,
+        };
+    }
+    let sat = match sat_engine {
+        Some(sat) => sat,
+        None => sat_engine.insert(
+            SatProver::new(netlist, constraints, config.sat_conflict_limit)
+                .expect("levelization already validated"),
+        ),
+    };
+    match sat.prove(fault) {
+        SatVerdict::TestExists => EngineOutcome {
+            outcome: ProofOutcome::TestExists,
+            engine: ProofEngine::Sat,
+        },
+        SatVerdict::ProvenUntestable => EngineOutcome {
+            outcome: ProofOutcome::ProvenUntestable,
+            engine: ProofEngine::Sat,
+        },
+        SatVerdict::Aborted => EngineOutcome {
+            outcome: ProofOutcome::Aborted,
+            engine: ProofEngine::Sat,
+        },
+        // The encoding declined (outside its exactness preconditions): keep
+        // PODEM's abort untouched.
+        SatVerdict::Unsupported => EngineOutcome {
+            outcome: ProofOutcome::Aborted,
+            engine: ProofEngine::Podem,
+        },
     }
 }
 
@@ -160,6 +300,7 @@ fn decode(code: u8) -> ProofOutcome {
 ///
 /// The netlist must already have been validated acyclic (the workers unwrap
 /// engine construction).
+#[allow(clippy::too_many_arguments)]
 fn prove_worklist<'a>(
     netlist: &'a Netlist,
     constraints: &ConstraintSet,
@@ -168,6 +309,7 @@ fn prove_worklist<'a>(
     config: &ProofConfig,
     results: &[AtomicU8],
     single_engine: &mut Option<Podem<'a>>,
+    single_sat: &mut Option<SatProver<'a>>,
 ) {
     if worklist.is_empty() {
         return;
@@ -182,7 +324,8 @@ fn prove_worklist<'a>(
             ),
         };
         for &i in worklist {
-            results[i].store(encode(podem.prove(faults[i])), Ordering::Relaxed);
+            let r = prove_one(netlist, constraints, config, podem, single_sat, faults[i]);
+            results[i].store(encode(r), Ordering::Relaxed);
         }
         return;
     }
@@ -193,6 +336,7 @@ fn prove_worklist<'a>(
             scope.spawn(|| {
                 let mut podem = Podem::new(netlist, constraints, config.podem_config())
                     .expect("levelization already validated");
+                let mut sat_engine: Option<SatProver<'a>> = None;
                 loop {
                     let chunk = cursor.fetch_add(1, Ordering::Relaxed);
                     if chunk >= chunks {
@@ -201,7 +345,15 @@ fn prove_worklist<'a>(
                     let start = chunk * CHUNK;
                     let end = (start + CHUNK).min(worklist.len());
                     for &i in &worklist[start..end] {
-                        results[i].store(encode(podem.prove(faults[i])), Ordering::Relaxed);
+                        let r = prove_one(
+                            netlist,
+                            constraints,
+                            config,
+                            &mut podem,
+                            &mut sat_engine,
+                            faults[i],
+                        );
+                        results[i].store(encode(r), Ordering::Relaxed);
                     }
                 }
             });
@@ -231,6 +383,27 @@ pub fn prove_faults(
     faults: &[StuckAt],
     config: &ProofConfig,
 ) -> Result<Vec<ProofOutcome>, graph::CombinationalLoop> {
+    Ok(
+        prove_faults_with_engines(netlist, constraints, faults, config)?
+            .into_iter()
+            .map(|r| r.outcome)
+            .collect(),
+    )
+}
+
+/// [`prove_faults`], keeping the engine attribution of every verdict — the
+/// form the identification flow uses to report the PODEM/SAT portfolio
+/// breakdown.
+///
+/// # Errors
+///
+/// Returns the levelization error if the combinational logic is cyclic.
+pub fn prove_faults_with_engines(
+    netlist: &Netlist,
+    constraints: &ConstraintSet,
+    faults: &[StuckAt],
+    config: &ProofConfig,
+) -> Result<Vec<EngineOutcome>, graph::CombinationalLoop> {
     // Validate levelization once up front (and still surface a cyclic design
     // when the fault list is empty) so the workers can unwrap — levelize is
     // the only error source of engine construction, and validating with it
@@ -243,6 +416,7 @@ pub fn prove_faults(
     let results: Vec<AtomicU8> = (0..faults.len()).map(|_| AtomicU8::new(0)).collect();
 
     let mut single_engine: Option<Podem<'_>> = None;
+    let mut single_sat: Option<SatProver<'_>> = None;
 
     if !config.use_collapse {
         let worklist: Vec<usize> = (0..faults.len()).collect();
@@ -254,6 +428,7 @@ pub fn prove_faults(
             config,
             &results,
             &mut single_engine,
+            &mut single_sat,
         );
         return Ok(results
             .into_iter()
@@ -301,9 +476,11 @@ pub fn prove_faults(
         config,
         &results,
         &mut single_engine,
+        &mut single_sat,
     );
 
-    // Expansion: concluded class verdicts cover every member; members of
+    // Expansion: concluded class verdicts cover every member (with the
+    // representative's engine — that proof is what covers them); members of
     // aborted classes go into the individual second pass.
     let mut second_pass: Vec<usize> = Vec::new();
     for i in 0..faults.len() {
@@ -311,9 +488,11 @@ pub fn prove_faults(
         if prover == i {
             continue;
         }
-        match decode(results[prover].load(Ordering::Relaxed)) {
-            ProofOutcome::Aborted => second_pass.push(i),
-            concluded => results[i].store(encode(concluded), Ordering::Relaxed),
+        let representative = decode(results[prover].load(Ordering::Relaxed));
+        if representative.outcome == ProofOutcome::Aborted {
+            second_pass.push(i);
+        } else {
+            results[i].store(encode(representative), Ordering::Relaxed);
         }
     }
     prove_worklist(
@@ -324,6 +503,7 @@ pub fn prove_faults(
         config,
         &results,
         &mut single_engine,
+        &mut single_sat,
     );
 
     Ok(results
@@ -453,12 +633,15 @@ mod tests {
 
     #[test]
     fn decode_roundtrips_every_real_outcome() {
-        for outcome in [
-            ProofOutcome::TestExists,
-            ProofOutcome::ProvenUntestable,
-            ProofOutcome::Aborted,
-        ] {
-            assert_eq!(decode(encode(outcome)), outcome);
+        for engine in [ProofEngine::Podem, ProofEngine::Sat] {
+            for outcome in [
+                ProofOutcome::TestExists,
+                ProofOutcome::ProvenUntestable,
+                ProofOutcome::Aborted,
+            ] {
+                let tagged = EngineOutcome { outcome, engine };
+                assert_eq!(decode(encode(tagged)), tagged);
+            }
         }
     }
 
@@ -648,6 +831,149 @@ mod tests {
             .unwrap();
             assert_eq!(outcomes, expected, "use_collapse={use_collapse}");
         }
+    }
+
+    #[test]
+    fn podem_aborts_escalate_to_sat_proofs_with_the_engine_recorded() {
+        // Zero backtrack budget: PODEM aborts on the redundant AND s-a-0
+        // faults (and others); the SAT escalation must convert those aborts
+        // into verdicts attributed to the SAT engine, and every concluded
+        // verdict must agree with an exhaustive PODEM-only run.
+        let n = redundant_design();
+        let faults = FaultList::full_universe(&n).faults().to_vec();
+        let constraints = ConstraintSet::full_scan();
+        let portfolio = prove_faults_with_engines(
+            &n,
+            &constraints,
+            &faults,
+            &ProofConfig {
+                backtrack_limit: 0,
+                threads: 1,
+                use_sat: true,
+                ..ProofConfig::default()
+            },
+        )
+        .unwrap();
+        let exhaustive = prove_faults(
+            &n,
+            &constraints,
+            &faults,
+            &ProofConfig {
+                backtrack_limit: 10_000,
+                threads: 1,
+                ..ProofConfig::default()
+            },
+        )
+        .unwrap();
+        let mut sat_proofs = 0;
+        for (i, (tagged, &expected)) in portfolio.iter().zip(&exhaustive).enumerate() {
+            assert_eq!(tagged.outcome, expected, "fault {:?}", faults[i]);
+            if tagged.engine == ProofEngine::Sat {
+                sat_proofs += 1;
+                assert_ne!(tagged.outcome, ProofOutcome::Aborted);
+            }
+        }
+        assert!(sat_proofs > 0, "no abort ever reached the SAT backend");
+        let breakdown = EngineBreakdown::from_outcomes(&portfolio);
+        assert_eq!(breakdown.sat_test_exists + breakdown.sat_proven, sat_proofs);
+        assert!(
+            breakdown.sat_proven >= 3,
+            "the redundant AND s-a-0 faults must become SAT untestability proofs: {breakdown:?}"
+        );
+        assert_eq!(breakdown.sat_aborted, 0);
+    }
+
+    #[test]
+    fn sat_conflict_limit_exhaustion_stays_aborted() {
+        // The redundancy proof needs at least one decision-level conflict, so
+        // a zero conflict budget must leave the fault aborted (attributed to
+        // the SAT attempt), never upgrade it — and lifting the budget turns
+        // the same fault into a SAT proof.
+        let mut b = NetlistBuilder::new("limited");
+        let a = b.input("a");
+        let c = b.input("b");
+        let t = b.and2(a, c);
+        let y = b.or2(a, t);
+        b.output("y", y);
+        let n = b.finish();
+        let and = n.driver_of(t).unwrap();
+        let faults = vec![StuckAt::output(and, false)];
+        let constraints = ConstraintSet::full_scan();
+        let starved = prove_faults_with_engines(
+            &n,
+            &constraints,
+            &faults,
+            &ProofConfig {
+                backtrack_limit: 0,
+                threads: 1,
+                use_sat: true,
+                sat_conflict_limit: 0,
+                ..ProofConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            starved[0],
+            EngineOutcome {
+                outcome: ProofOutcome::Aborted,
+                engine: ProofEngine::Sat,
+            }
+        );
+        let funded = prove_faults_with_engines(
+            &n,
+            &constraints,
+            &faults,
+            &ProofConfig {
+                backtrack_limit: 0,
+                threads: 1,
+                use_sat: true,
+                ..ProofConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            funded[0],
+            EngineOutcome {
+                outcome: ProofOutcome::ProvenUntestable,
+                engine: ProofEngine::Sat,
+            }
+        );
+        // When PODEM concludes on its own, SAT is never consulted.
+        let podem_first = prove_faults_with_engines(
+            &n,
+            &constraints,
+            &faults,
+            &ProofConfig {
+                backtrack_limit: 10_000,
+                threads: 1,
+                use_sat: true,
+                ..ProofConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            podem_first[0],
+            EngineOutcome {
+                outcome: ProofOutcome::ProvenUntestable,
+                engine: ProofEngine::Podem,
+            }
+        );
+    }
+
+    #[test]
+    fn portfolio_outcomes_are_thread_invariant() {
+        let n = redundant_design();
+        let faults = FaultList::full_universe(&n).faults().to_vec();
+        let constraints = ConstraintSet::full_scan();
+        let config = |threads| ProofConfig {
+            backtrack_limit: 0,
+            threads,
+            use_sat: true,
+            ..ProofConfig::default()
+        };
+        let single = prove_faults_with_engines(&n, &constraints, &faults, &config(1)).unwrap();
+        let parallel = prove_faults_with_engines(&n, &constraints, &faults, &config(4)).unwrap();
+        assert_eq!(single, parallel);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Property-based tests on the structural test engine: the constant
 //! analysis is sound, the packed parallel-fault simulator agrees with the
 //! scalar reference simulator, PODEM tests really detect their target fault,
-//! and collapsed-equivalent faults share their detection outcome.
+//! collapsed-equivalent faults share their detection outcome, and the SAT
+//! proof backend agrees with unlimited-budget PODEM and with exhaustive
+//! enumeration under random mission constraints.
 
 use atpg::proof::{prove_faults, ProofConfig};
 use atpg::{
     analysis::StructuralAnalysis, constant::propagate_constants, CombSim, ConstraintSet, FaultSim,
-    InputVector, Logic, Podem, PodemConfig, PodemOutcome, ProofOutcome, SeqSim,
+    InputVector, Logic, Podem, PodemConfig, PodemOutcome, ProofOutcome, SatProver, SatVerdict,
+    SeqSim,
 };
 use faultmodel::{collapse, FaultClass, FaultList, StuckAt};
 use netlist::{NetId, Netlist, NetlistBuilder};
@@ -383,6 +386,93 @@ proptest! {
             prop_assert!(
                 !hit,
                 "fault {:?} was proven untestable but detected functionally",
+                fault
+            );
+        }
+    }
+
+    /// Three-way differential: unlimited-budget PODEM, the SAT proof
+    /// backend, and exhaustive enumeration of the free input space agree on
+    /// which faults are functionally testable under random mission
+    /// constraints. These circuits are purely combinational with every input
+    /// either free or tied definite, so neither engine is ever allowed to
+    /// abort or decline.
+    #[test]
+    fn podem_sat_and_exhaustive_enumeration_agree(
+        spec in prop::collection::vec(any::<u8>(), 4..16),
+        tie_mask in 0u8..64,
+        tie_values in 0u8..64,
+        output_mask in 0u8..8,
+    ) {
+        let (netlist, inputs, _) = build_circuit(&spec);
+        let mut constraints = ConstraintSet::full_scan();
+        let mut free_inputs = Vec::new();
+        for (i, &net) in inputs.iter().enumerate() {
+            if (tie_mask >> i) & 1 == 1 {
+                constraints.tie_net(net, (tie_values >> i) & 1 == 1);
+            } else {
+                free_inputs.push(net);
+            }
+        }
+        let outputs = netlist.primary_outputs();
+        let mut observed = Vec::new();
+        for (i, &po) in outputs.iter().enumerate() {
+            if (output_mask >> i) & 1 == 1 {
+                constraints.mask_output(po);
+            } else {
+                observed.push(po);
+            }
+        }
+        let faults: Vec<StuckAt> = FaultList::full_universe(&netlist)
+            .faults()
+            .iter()
+            .copied()
+            .take(60)
+            .collect();
+        // Ground truth: exhaustive patterns over the free inputs (at most
+        // 2^6 = 64), tied inputs held at their mission constants, observing
+        // only the unmasked outputs.
+        let vectors: Vec<InputVector> = (0..(1u32 << free_inputs.len()))
+            .map(|p| {
+                let mut v: InputVector = free_inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, (p >> i) & 1 == 1))
+                    .collect();
+                for (i, &net) in inputs.iter().enumerate() {
+                    if (tie_mask >> i) & 1 == 1 {
+                        v.insert(net, (tie_values >> i) & 1 == 1);
+                    }
+                }
+                v
+            })
+            .collect();
+        let sim = FaultSim::new(&netlist).unwrap();
+        let detected = sim.detect_at(&faults, &vectors, &observed);
+        let mut podem = Podem::new(
+            &netlist,
+            &constraints,
+            PodemConfig { backtrack_limit: 1_000_000, ..PodemConfig::default() },
+        )
+        .unwrap();
+        let mut sat = SatProver::new(&netlist, &constraints, u64::MAX).unwrap();
+        for (&fault, hit) in faults.iter().zip(detected) {
+            let podem_verdict = podem.prove(fault);
+            let sat_verdict = sat.prove(fault);
+            let want_podem =
+                if hit { ProofOutcome::TestExists } else { ProofOutcome::ProvenUntestable };
+            let want_sat =
+                if hit { SatVerdict::TestExists } else { SatVerdict::ProvenUntestable };
+            prop_assert_eq!(
+                podem_verdict,
+                want_podem,
+                "PODEM disagrees with exhaustive enumeration on {:?}",
+                fault
+            );
+            prop_assert_eq!(
+                sat_verdict,
+                want_sat,
+                "SAT backend disagrees with exhaustive enumeration on {:?}",
                 fault
             );
         }

@@ -1,0 +1,66 @@
+//! Throughput of the SAT escalation stage alone: the faults the committed
+//! PODEM configuration (backtrack 16) aborts on, replayed through one
+//! single-threaded [`atpg::SatProver`] at the committed 20,000-conflict
+//! budget — the workload behind the `sat_throughput` section of
+//! `BENCH_flow.json` and the fourth CI perf-smoke gate.
+//!
+//! The preparation (structural rules + SBST fault simulation to select the
+//! survivors, then a PODEM-only proof run to find its aborts) happens once
+//! outside the measured region; the measured region is the SAT replay of
+//! the first [`bench::SAT_STAGE_SLICE`] aborts (the full worklist's
+//! conflict-limited tail costs minutes per iteration). The full-worklist
+//! portfolio run is also printed next to the PODEM-only run so the
+//! abort-column conversion is visible in the bench output.
+
+use bench::{ProofCampaign, SAT_STAGE_SLICE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn sat_throughput(c: &mut Criterion) {
+    let campaign = ProofCampaign::prepare();
+    println!("survivors               : {}", campaign.survivors());
+
+    let podem_only = campaign.run_podem_only();
+    println!(
+        "PODEM alone             : {:.3} s, {} proven, {} aborted",
+        podem_only.wall_clock.as_secs_f64(),
+        podem_only.proven,
+        podem_only.aborted
+    );
+    let portfolio = campaign.run();
+    println!(
+        "PODEM/SAT portfolio     : {:.3} s, {} proven ({} by SAT), {} aborted",
+        portfolio.wall_clock.as_secs_f64(),
+        portfolio.proven,
+        portfolio.sat_proven,
+        portfolio.aborted
+    );
+
+    let worklist = campaign.sat_escalation_worklist();
+    let slice = &worklist[..SAT_STAGE_SLICE.min(worklist.len())];
+    let sat = campaign.run_sat_stage(slice);
+    println!(
+        "SAT stage (slice)       : {} of {} aborts in, {} proven, {} testable, {} unresolved, \
+         {:.3} s ({:.3} ms per concluded fault; committed numbers in BENCH_flow.json)",
+        sat.attempted,
+        worklist.len(),
+        sat.proven,
+        sat.test_exists,
+        sat.unresolved,
+        sat.wall_clock.as_secs_f64(),
+        sat.ms_per_concluded_fault()
+    );
+
+    let mut group = c.benchmark_group("sat_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(20));
+    group.bench_function("podem_abort_worklist_small_soc", |b| {
+        b.iter(|| campaign.run_sat_stage(slice))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sat_throughput);
+criterion_main!(benches);

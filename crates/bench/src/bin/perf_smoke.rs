@@ -1,4 +1,4 @@
-//! CI perf-regression gate: replays the three committed performance
+//! CI perf-regression gate: replays the four committed performance
 //! workloads in a quick configuration and fails (exit code 1) when the
 //! measured wall-clock regresses past `regression_factor` × the committed
 //! number.
@@ -7,13 +7,15 @@
 //!   industrial SoC (`post.campaign_wall_clock_s`);
 //! * `BENCH_flow.json` → the staged identification pipeline on the reduced
 //!   SoC (`measured.flow_wall_clock_s`);
-//! * `BENCH_flow.json` → the proof stage alone over the full survivor set
-//!   (`proof_throughput.proof_wall_clock_s`).
+//! * `BENCH_flow.json` → the PODEM/SAT proof portfolio over the full
+//!   survivor set (`proof_throughput.proof_wall_clock_s`);
+//! * `BENCH_flow.json` → the SAT escalation alone over the PODEM aborts
+//!   (`sat_throughput.sat_wall_clock_s`).
 //!
 //! Run with `cargo run --release -p bench --bin perf_smoke`. Refresh the
 //! committed numbers by re-running the `fault_sim_throughput`,
-//! `flow_pipeline` and `proof_throughput` benches and editing the JSON
-//! files.
+//! `flow_pipeline`, `proof_throughput` and `sat_throughput` benches and
+//! editing the JSON files.
 
 use bench::{
     industrial_soc, quick_pipeline_config, read_committed_f64, replay_faultsim_campaign, small_soc,
@@ -120,9 +122,12 @@ fn main() {
     let campaign = bench::ProofCampaign::prepare();
     let proof = campaign.run();
     println!(
-        "proof_throughput        : {} survivors, {} proven, {:.3} s ({:.3} ms per proven fault)",
+        "proof_throughput        : {} survivors, {} proven ({} by SAT), {} aborted, {:.3} s \
+         ({:.3} ms per proven fault)",
         proof.attempted,
         proof.proven,
+        proof.sat_proven,
+        proof.aborted,
         proof.wall_clock.as_secs_f64(),
         proof.ms_per_proven_fault()
     );
@@ -142,9 +147,44 @@ fn main() {
         measured_s: proof.wall_clock.as_secs_f64(),
     };
 
+    // Gate 4: the SAT escalation alone — the first SAT_STAGE_SLICE faults
+    // the committed PODEM configuration aborts on, replayed through one
+    // single-threaded SAT prover (the full worklist's conflict-limited tail
+    // costs minutes; the slice keeps the gate a smoke test). The proven
+    // count is checked first for the same reason as the other workloads: a
+    // solver that got faster by concluding less must fail, not pass.
+    let worklist = campaign.sat_escalation_worklist();
+    let slice = &worklist[..bench::SAT_STAGE_SLICE.min(worklist.len())];
+    let sat = campaign.run_sat_stage(slice);
+    println!(
+        "sat_throughput          : {} of {} PODEM aborts, {} proven, {} testable, {} unresolved, \
+         {:.3} s",
+        sat.attempted,
+        worklist.len(),
+        sat.proven,
+        sat.test_exists,
+        sat.unresolved,
+        sat.wall_clock.as_secs_f64()
+    );
+    let committed_sat_proven = read_reference(&flow_json, "sat_throughput", "proven") as usize;
+    if sat.proven != committed_sat_proven {
+        eprintln!(
+            "perf-smoke gate failed: the SAT stage proved {} faults but BENCH_flow.json \
+             records {committed_sat_proven} for this exact workload — the solver's verdicts \
+             changed, not just its speed.",
+            sat.proven
+        );
+        std::process::exit(1);
+    }
+    let gate_sat = Gate {
+        name: "sat_throughput",
+        committed_s: read_reference(&flow_json, "sat_throughput", "sat_wall_clock_s"),
+        measured_s: sat.wall_clock.as_secs_f64(),
+    };
+
     println!();
     let mut failed = false;
-    for gate in [gate_faultsim, gate_flow, gate_proof] {
+    for gate in [gate_faultsim, gate_flow, gate_proof, gate_sat] {
         let verdict = if gate.passes(factor) { "PASS" } else { "FAIL" };
         println!(
             "{verdict} {name:<22} measured {measured:.3} s vs committed {committed:.3} s (limit {limit:.3} s)",
@@ -161,7 +201,8 @@ fn main() {
             "perf-smoke gate failed: a workload regressed more than {factor:.1}x past its \
              committed wall-clock. If the regression is intentional, re-measure with \
              `cargo bench -p bench --bench fault_sim_throughput` / `--bench flow_pipeline` / \
-             `--bench proof_throughput` and update BENCH_faultsim.json / BENCH_flow.json."
+             `--bench proof_throughput` / `--bench sat_throughput` and update \
+             BENCH_faultsim.json / BENCH_flow.json."
         );
         std::process::exit(1);
     }

@@ -4,8 +4,9 @@
 //! structural Verilog, EDIF subset), optionally binds a mission-constraint
 //! specification (forced nets / masked observation points), and runs the
 //! staged identification pipeline: baseline structural screen, the
-//! constraint screening rules, and the multi-threaded constraint-aware PODEM
-//! proof stage. Prints the per-stage report and a classification summary.
+//! constraint screening rules, and the multi-threaded constraint-aware
+//! PODEM/SAT proof portfolio. Prints the per-stage report, the per-engine
+//! breakdown and a classification summary.
 //!
 //! ```console
 //! $ untestable circuits/synth_c432.bench --constraints circuits/synth_c432.mission
@@ -23,7 +24,7 @@ const USAGE: &str = "usage: untestable <circuit> [options]
 
 Identify on-line functionally untestable stuck-at faults in a gate-level
 circuit: structural screen, constraint screening rules, and a constraint-aware
-PODEM proof stage over every surviving fault.
+PODEM/SAT proof portfolio over every surviving fault.
 
 arguments:
   <circuit>             netlist file: .bench (ISCAS-85/89), .v (structural
@@ -40,7 +41,10 @@ options:
   --max-proof <n>       cap the proof worklist at n survivors (default: all)
   --seed <s>            sample the capped worklist with this seed instead of
                         taking a prefix (only with --max-proof)
-  --no-proof            structural screen only, skip the PODEM proof stage
+  --no-proof            structural screen only, skip the proof stage
+  --no-sat              keep PODEM aborts instead of escalating them to the
+                        SAT proof backend
+  --sat-conflicts <n>   conflict budget per SAT escalation (default 20000)
   -h, --help            this message";
 
 struct Options {
@@ -52,6 +56,8 @@ struct Options {
     max_proof: Option<usize>,
     seed: Option<u64>,
     proof: bool,
+    sat: bool,
+    sat_conflicts: u64,
 }
 
 /// `Ok(None)` means `-h`/`--help` was requested: print usage to stdout and
@@ -66,6 +72,8 @@ fn parse_options() -> Result<Option<Options>, String> {
         max_proof: None,
         seed: None,
         proof: true,
+        sat: true,
+        sat_conflicts: 20_000,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,6 +115,12 @@ fn parse_options() -> Result<Option<Options>, String> {
                 )
             }
             "--no-proof" => options.proof = false,
+            "--no-sat" => options.sat = false,
+            "--sat-conflicts" => {
+                options.sat_conflicts = value("--sat-conflicts")?
+                    .parse()
+                    .map_err(|e| format!("--sat-conflicts: {e}"))?
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n\n{USAGE}"))
             }
@@ -171,6 +185,8 @@ fn run(options: &Options) -> Result<(), String> {
             threads: options.threads,
             max_faults: options.max_proof,
             sample_seed: options.seed,
+            use_sat: options.sat,
+            sat_conflict_limit: options.sat_conflicts,
             ..ProofStageConfig::default()
         },
         ..FlowConfig::full_pipeline()
@@ -192,9 +208,12 @@ fn run(options: &Options) -> Result<(), String> {
         report.untestable_fraction() * 100.0
     );
     println!(
-        "  proven by PODEM       : {}",
+        "  proven by ATPG/SAT    : {}",
         report.count_for(faultmodel::UntestableSource::AtpgProof)
     );
+    if let Some(breakdown) = &report.engine_breakdown {
+        println!("  proof engines         : {breakdown}");
+    }
     println!("  still unclassified    : {}", report.counts.undetected);
     Ok(())
 }

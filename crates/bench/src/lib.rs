@@ -8,8 +8,8 @@
 //! (`BENCH_faultsim.json`, `BENCH_flow.json`) and fails when the measured
 //! wall-clock regresses past the committed numbers — the CI perf gate.
 
-use atpg::proof::{prove_faults, ProofConfig, ProofStats};
-use atpg::{ConstraintSet, FaultSim};
+use atpg::proof::{prove_faults_with_engines, EngineBreakdown, ProofConfig};
+use atpg::{ConstraintSet, FaultSim, ProofOutcome, SatProver, SatVerdict};
 use cpu::sbst::{standard_suite, suite_stimuli};
 use cpu::soc::{Soc, SocBuilder};
 use faultmodel::{FaultList, StuckAt, UntestableSource};
@@ -38,9 +38,10 @@ pub fn run_flow(soc: &Soc) -> IdentificationReport {
 
 /// The quick full-pipeline configuration used by the `flow_pipeline` bench
 /// and the `perf_smoke` gate: every structural rule, the SBST simulation
-/// stage, and the PODEM proof stage over the **entire** surviving undetected
-/// population (no `max_faults` budget — the cone-clipped, SCOAP-guided,
-/// collapse-scheduled engine makes the full survivor set affordable). The
+/// stage, and the PODEM/SAT proof portfolio over the **entire** surviving
+/// undetected population (no `max_faults` budget — the cone-clipped,
+/// SCOAP-guided, collapse-scheduled engine makes the full survivor set
+/// affordable, and PODEM aborts escalate to the SAT backend). The
 /// proof stage is pinned to one worker so the committed wall-clock means the
 /// same thing on a 1-core container and a multi-core CI runner
 /// (classifications are thread-invariant anyway; the multi-threaded path is
@@ -73,6 +74,12 @@ pub struct CampaignResult {
 /// Faults graded by the committed `BENCH_faultsim.json` campaign (a fixed
 /// seeded sample = 20 packed chunks).
 pub const FAULTSIM_SAMPLE: usize = 1_260;
+
+/// PODEM aborts replayed by the committed `sat_throughput` workload: the
+/// first this-many faults of [`ProofCampaign::sat_escalation_worklist`]
+/// (the worklist order is the fault-universe order, so the slice is
+/// deterministic).
+pub const SAT_STAGE_SLICE: usize = 256;
 
 /// RNG seed of the committed campaign's fault sample.
 pub const FAULTSIM_SEED: u64 = 2013;
@@ -147,10 +154,13 @@ pub struct ProofResult {
     pub wall_clock: Duration,
     /// Survivors attacked.
     pub attempted: usize,
-    /// Faults proven untestable.
+    /// Faults proven untestable (by either engine).
     pub proven: usize,
-    /// Searches that ran out of backtrack budget.
+    /// Faults neither engine concluded.
     pub aborted: usize,
+    /// Faults proven untestable by the SAT escalation specifically (zero
+    /// when the portfolio is off).
+    pub sat_proven: usize,
 }
 
 impl ProofResult {
@@ -161,13 +171,13 @@ impl ProofResult {
     }
 }
 
-/// The committed proof-stage workload behind the `proof_throughput` bench
-/// and the third `perf_smoke` gate: the staged pipeline on the reduced SoC
-/// is run up to (and including) the SBST simulation once, outside the
-/// measured region; the measured region is a single-threaded
-/// [`prove_faults`] over the **full** survivor set under the mission
-/// constraints — the same worklist and engine configuration the
-/// `BENCH_flow.json` pipeline's `atpg-proof` stage uses.
+/// The committed proof-stage workload behind the `proof_throughput` and
+/// `sat_throughput` benches and the third and fourth `perf_smoke` gates: the
+/// staged pipeline on the reduced SoC is run up to (and including) the SBST
+/// simulation once, outside the measured region; the measured region is a
+/// single-threaded [`prove_faults_with_engines`] over the **full** survivor
+/// set under the mission constraints — the same worklist and engine
+/// configuration the `BENCH_flow.json` pipeline's `atpg-proof` stage uses.
 pub struct ProofCampaign {
     soc: Soc,
     faults: Vec<StuckAt>,
@@ -197,10 +207,23 @@ impl ProofCampaign {
         self.faults.len()
     }
 
-    /// Runs the proof stage once with the accelerated engine (cone clipping,
-    /// SCOAP guidance, X-path pruning, collapse scheduling — the committed
-    /// configuration), timing only the proof run itself.
+    /// Runs the proof stage once with the committed portfolio configuration
+    /// (cone clipping, SCOAP guidance, X-path pruning, collapse scheduling,
+    /// PODEM aborts escalated to the SAT backend), timing only the proof run
+    /// itself.
     pub fn run(&self) -> ProofResult {
+        self.run_with(ProofConfig {
+            backtrack_limit: 16,
+            threads: 1,
+            use_sat: true,
+            sat_conflict_limit: 20_000,
+            ..ProofConfig::default()
+        })
+    }
+
+    /// Runs the same worklist with the SAT escalation off — the accelerated
+    /// PODEM engine alone, the pre-portfolio committed configuration.
+    pub fn run_podem_only(&self) -> ProofResult {
         self.run_with(ProofConfig {
             backtrack_limit: 16,
             threads: 1,
@@ -220,21 +243,99 @@ impl ProofCampaign {
             cone_clip: false,
             use_scoap: false,
             use_x_path: false,
+            ..ProofConfig::default()
         })
+    }
+
+    /// The SAT escalation's worklist: the faults the committed PODEM
+    /// configuration aborts on. Computed outside any measured region. The
+    /// measured replays take the first [`SAT_STAGE_SLICE`] of them — the
+    /// full worklist costs minutes (the conflict-limited tail dominates),
+    /// which is bench-prohibitive for a smoke gate; the slice keeps the
+    /// per-fault cost representative while bounding the measured region.
+    pub fn sat_escalation_worklist(&self) -> Vec<StuckAt> {
+        let outcomes = prove_faults_with_engines(
+            &self.soc.netlist,
+            &self.constraints,
+            &self.faults,
+            &ProofConfig {
+                backtrack_limit: 16,
+                threads: 1,
+                ..ProofConfig::default()
+            },
+        )
+        .expect("proof run");
+        self.faults
+            .iter()
+            .zip(&outcomes)
+            .filter(|&(_, o)| o.outcome == ProofOutcome::Aborted)
+            .map(|(&f, _)| f)
+            .collect()
+    }
+
+    /// Replays the SAT escalation stage alone over `worklist` (normally
+    /// [`sat_escalation_worklist`](Self::sat_escalation_worklist)): one
+    /// single-threaded [`SatProver`] at the committed 20,000-conflict
+    /// budget. This is the measured region of the `sat_throughput` bench and
+    /// the fourth `perf_smoke` gate.
+    pub fn run_sat_stage(&self, worklist: &[StuckAt]) -> SatStageResult {
+        let mut prover =
+            SatProver::new(&self.soc.netlist, &self.constraints, 20_000).expect("acyclic netlist");
+        let start = Instant::now();
+        let (mut proven, mut test_exists, mut unresolved) = (0usize, 0usize, 0usize);
+        for &fault in worklist {
+            match prover.prove(fault) {
+                SatVerdict::ProvenUntestable => proven += 1,
+                SatVerdict::TestExists => test_exists += 1,
+                SatVerdict::Aborted | SatVerdict::Unsupported => unresolved += 1,
+            }
+        }
+        SatStageResult {
+            wall_clock: start.elapsed(),
+            attempted: worklist.len(),
+            proven,
+            test_exists,
+            unresolved,
+        }
     }
 
     fn run_with(&self, config: ProofConfig) -> ProofResult {
         let start = Instant::now();
-        let outcomes = prove_faults(&self.soc.netlist, &self.constraints, &self.faults, &config)
-            .expect("proof run");
+        let outcomes =
+            prove_faults_with_engines(&self.soc.netlist, &self.constraints, &self.faults, &config)
+                .expect("proof run");
         let wall_clock = start.elapsed();
-        let stats = ProofStats::from_outcomes(&outcomes);
+        let b = EngineBreakdown::from_outcomes(&outcomes);
         ProofResult {
             wall_clock,
-            attempted: stats.attempted,
-            proven: stats.proven_untestable,
-            aborted: stats.aborted,
+            attempted: outcomes.len(),
+            proven: b.podem_proven + b.sat_proven,
+            aborted: b.podem_aborted + b.sat_aborted,
+            sat_proven: b.sat_proven,
         }
+    }
+}
+
+/// Result of one SAT-escalation replay (the `sat_throughput` section of
+/// `BENCH_flow.json`).
+#[derive(Clone, Debug)]
+pub struct SatStageResult {
+    /// Wall-clock of the SAT stage itself.
+    pub wall_clock: Duration,
+    /// PODEM aborts handed to the SAT backend.
+    pub attempted: usize,
+    /// Faults the SAT backend proved untestable.
+    pub proven: usize,
+    /// Faults the SAT backend found a (replayed) test for.
+    pub test_exists: usize,
+    /// Faults the SAT backend declined or conflict-limited out of.
+    pub unresolved: usize,
+}
+
+impl SatStageResult {
+    /// Milliseconds of SAT wall-clock per concluded fault.
+    pub fn ms_per_concluded_fault(&self) -> f64 {
+        self.wall_clock.as_secs_f64() * 1e3 / (self.proven + self.test_exists).max(1) as f64
     }
 }
 

@@ -24,7 +24,7 @@ use crate::rules::{
 };
 use crate::toggle::analyze_toggles;
 use atpg::analysis::{AnalysisConfig, StructuralAnalysis};
-use atpg::proof::{prove_faults, ProofConfig};
+use atpg::proof::{prove_faults_with_engines, EngineBreakdown, ProofConfig};
 use atpg::{ConstraintSet, FaultSim, InputVector, ProofOutcome};
 use dft::trace::{find_scan_in_ports, trace_scan_chains};
 use faultmodel::{FaultClass, FaultList, StuckAt, UntestableSource};
@@ -76,6 +76,13 @@ pub struct ProofStageConfig {
     /// Prune hopeless branches with the X-path check. Turning all four
     /// toggles off reproduces the pre-acceleration proof stage exactly.
     pub use_x_path: bool,
+    /// Escalate PODEM aborts to the SAT proof backend (the PODEM/SAT
+    /// portfolio). On by default at the flow level: the portfolio converts
+    /// most of the abort column into proofs for the cost of re-attempting
+    /// only the faults PODEM already gave up on.
+    pub use_sat: bool,
+    /// Conflict budget per SAT escalation; exhausted solves stay aborted.
+    pub sat_conflict_limit: u64,
 }
 
 impl Default for ProofStageConfig {
@@ -89,6 +96,8 @@ impl Default for ProofStageConfig {
             cone_clip: true,
             use_scoap: true,
             use_x_path: true,
+            use_sat: true,
+            sat_conflict_limit: 20_000,
         }
     }
 }
@@ -102,6 +111,8 @@ impl ProofStageConfig {
             cone_clip: self.cone_clip,
             use_scoap: self.use_scoap,
             use_x_path: self.use_x_path,
+            use_sat: self.use_sat,
+            sat_conflict_limit: self.sat_conflict_limit,
         }
     }
 }
@@ -252,6 +263,8 @@ struct StageContext<'a> {
     /// stimulus suite, which the debug-control stage and the proof stage
     /// would otherwise both pay for.
     tied_inputs: Option<Vec<(NetId, bool)>>,
+    /// Per-engine outcome counts of the proof stage, filled in when it runs.
+    engine_breakdown: Option<EngineBreakdown>,
 }
 
 impl StageContext<'_> {
@@ -322,6 +335,7 @@ impl IdentificationFlow {
             phases: Vec::new(),
             baseline_structural: 0,
             tied_inputs: None,
+            engine_breakdown: None,
         };
 
         // Stage 0: baseline structural untestability.
@@ -371,6 +385,16 @@ impl IdentificationFlow {
             baseline_structural: ctx.baseline_structural,
             phases: ctx.phases,
             counts: ctx.master.counts(),
+            engine_breakdown: ctx
+                .engine_breakdown
+                .map(|b| crate::report::ProofEngineBreakdown {
+                    podem_test_exists: b.podem_test_exists,
+                    podem_proven: b.podem_proven,
+                    podem_aborted: b.podem_aborted,
+                    sat_test_exists: b.sat_test_exists,
+                    sat_proven: b.sat_proven,
+                    sat_aborted: b.sat_aborted,
+                }),
         };
         Ok((report, ctx.master))
     }
@@ -495,9 +519,11 @@ impl IdentificationFlow {
     }
 
     /// Phase 6: constraint-aware PODEM proofs over the surviving undetected
-    /// faults, fanned out across worker threads. Proven faults are
-    /// re-labelled [`UntestableSource::AtpgProof`]; aborted searches leave
-    /// their fault unclassified.
+    /// faults, fanned out across worker threads, with aborted searches
+    /// escalated to the SAT backend when the portfolio is on. Proven faults
+    /// are re-labelled [`UntestableSource::AtpgProof`]; faults neither engine
+    /// concludes stay unclassified. The per-engine outcome counts land in the
+    /// report's `engine_breakdown`.
     fn stage_atpg_proof(&self, ctx: &mut StageContext<'_>) -> Result<usize, FlowError> {
         let tied = self.control_inputs_cached(ctx)?;
         let constraints = self.mission_constraints_from(ctx.design, &ctx.specs, &tied);
@@ -509,16 +535,17 @@ impl IdentificationFlow {
             survivors.truncate(cap);
         }
         let faults: Vec<StuckAt> = survivors.iter().map(|&(_, f)| f).collect();
-        let outcomes = prove_faults(
+        let outcomes = prove_faults_with_engines(
             ctx.design.netlist(),
             &constraints,
             &faults,
             &self.config.proof.engine_config(),
         )
         .map_err(|e| FlowError::Analysis(e.to_string()))?;
+        ctx.engine_breakdown = Some(EngineBreakdown::from_outcomes(&outcomes));
         let mut newly = 0usize;
         for (&(index, _), outcome) in survivors.iter().zip(&outcomes) {
-            if *outcome == ProofOutcome::ProvenUntestable {
+            if outcome.outcome == ProofOutcome::ProvenUntestable {
                 ctx.master.classify_at(
                     index,
                     FaultClass::OnlineUntestable(UntestableSource::AtpgProof),
@@ -834,6 +861,62 @@ mod tests {
         // Detected and proven populations are disjoint by construction.
         assert_eq!(report.counts, faults.counts());
         assert_eq!(report.counts.total(), report.total_faults);
+    }
+
+    #[test]
+    fn sat_escalation_converts_aborts_and_reports_the_breakdown() {
+        let soc = micro_soc();
+        let portfolio = IdentificationFlow::new(micro_pipeline_config())
+            .run(&soc)
+            .unwrap();
+        let podem_only_config = FlowConfig {
+            proof: ProofStageConfig {
+                use_sat: false,
+                ..micro_pipeline_config().proof
+            },
+            ..micro_pipeline_config()
+        };
+        let podem_only = IdentificationFlow::new(podem_only_config)
+            .run(&soc)
+            .unwrap();
+        let with = portfolio.engine_breakdown.expect("proof stage ran");
+        let without = podem_only.engine_breakdown.expect("proof stage ran");
+        // Same survivors reach the proof stage either way.
+        let attempted = |b: &crate::report::ProofEngineBreakdown| {
+            b.test_exists_total() + b.proven_total() + b.aborted_total()
+        };
+        assert_eq!(attempted(&with), attempted(&without));
+        // With the portfolio off, no fault is ever attributed to SAT.
+        assert_eq!(
+            without.sat_test_exists + without.sat_proven + without.sat_aborted,
+            0,
+            "{podem_only}"
+        );
+        // The tiny backtrack budget leaves genuine aborts for SAT to work
+        // on; the escalation must conclude some of them and can only ever
+        // shrink the abort column.
+        assert!(without.aborted_total() > 0, "{podem_only}");
+        assert!(with.sat_proven + with.sat_test_exists > 0, "{portfolio}");
+        assert!(
+            with.aborted_total() < without.aborted_total(),
+            "{portfolio}"
+        );
+        // Every proven outcome is one AtpgProof classification, and the
+        // breakdown row reaches the rendered report.
+        assert_eq!(
+            portfolio.count_for(UntestableSource::AtpgProof),
+            with.proven_total()
+        );
+        assert!(
+            portfolio.count_for(UntestableSource::AtpgProof)
+                >= podem_only.count_for(UntestableSource::AtpgProof)
+        );
+        assert!(portfolio.to_string().contains("proof engines: PODEM"));
+        // Without a proof stage there is no breakdown to report.
+        let screened = IdentificationFlow::new(FlowConfig::default())
+            .run(&soc)
+            .unwrap();
+        assert!(screened.engine_breakdown.is_none());
     }
 
     #[test]

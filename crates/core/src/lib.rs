@@ -53,5 +53,5 @@ pub mod toggle;
 pub use design::{ConstraintSpec, Design, NetlistDesign, SpecError};
 pub use flow::{DiscoveryMode, FlowConfig, FlowError, IdentificationFlow, ProofStageConfig};
 pub use manipulate::{Manipulation, ManipulationStep};
-pub use report::{IdentificationReport, PhaseResult};
+pub use report::{IdentificationReport, PhaseResult, ProofEngineBreakdown};
 pub use toggle::{analyze_toggles, ToggleReport};

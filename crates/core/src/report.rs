@@ -20,6 +20,61 @@ pub struct PhaseResult {
     pub duration: Duration,
 }
 
+/// Per-engine outcome counts of the PODEM/SAT proof portfolio: how many of
+/// the attempted faults each engine concluded (or gave up on). A fault is
+/// attributed to the engine that produced its final verdict — PODEM when it
+/// concluded within its backtrack budget, SAT when PODEM aborted and the SAT
+/// escalation concluded (or itself ran out of conflicts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProofEngineBreakdown {
+    /// Faults PODEM found a mission-mode test for.
+    pub podem_test_exists: usize,
+    /// Faults PODEM proved untestable.
+    pub podem_proven: usize,
+    /// Faults left unresolved by both engines, attributed to PODEM (the SAT
+    /// stage was off or declined the fault).
+    pub podem_aborted: usize,
+    /// Faults the SAT escalation found a test for (replayed through the
+    /// simulator before being trusted).
+    pub sat_test_exists: usize,
+    /// Faults the SAT escalation proved untestable.
+    pub sat_proven: usize,
+    /// Faults the SAT escalation itself gave up on (conflict limit).
+    pub sat_aborted: usize,
+}
+
+impl ProofEngineBreakdown {
+    /// Faults proven untestable by either engine.
+    pub fn proven_total(&self) -> usize {
+        self.podem_proven + self.sat_proven
+    }
+
+    /// Faults neither engine could conclude.
+    pub fn aborted_total(&self) -> usize {
+        self.podem_aborted + self.sat_aborted
+    }
+
+    /// Faults shown testable in mission mode by either engine.
+    pub fn test_exists_total(&self) -> usize {
+        self.podem_test_exists + self.sat_test_exists
+    }
+}
+
+impl fmt::Display for ProofEngineBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PODEM {} proven / {} testable / {} aborted; SAT {} proven / {} testable / {} aborted",
+            self.podem_proven,
+            self.podem_test_exists,
+            self.podem_aborted,
+            self.sat_proven,
+            self.sat_test_exists,
+            self.sat_aborted
+        )
+    }
+}
+
 /// The complete result of the on-line untestable fault identification flow.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct IdentificationReport {
@@ -34,6 +89,9 @@ pub struct IdentificationReport {
     pub phases: Vec<PhaseResult>,
     /// Final per-class fault counts.
     pub counts: ClassCounts,
+    /// Per-engine outcome counts of the proof stage, when it ran.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub engine_breakdown: Option<ProofEngineBreakdown>,
 }
 
 impl IdentificationReport {
@@ -119,6 +177,9 @@ impl fmt::Display for IdentificationReport {
                 phase.duration.as_secs_f64() * 1e3
             )?;
         }
+        if let Some(breakdown) = &self.engine_breakdown {
+            writeln!(f, "proof engines: {breakdown}")?;
+        }
         write!(
             f,
             "total analysis time: {:.3} ms",
@@ -168,6 +229,7 @@ mod tests {
                 },
             ],
             counts,
+            engine_breakdown: None,
         }
     }
 
@@ -229,8 +291,39 @@ mod tests {
             baseline_structural: 0,
             phases: Vec::new(),
             counts: ClassCounts::default(),
+            engine_breakdown: None,
         };
         assert_eq!(r.untestable_fraction(), 0.0);
         assert_eq!(r.coverage_after_pruning(0), 0.0);
+    }
+
+    #[test]
+    fn engine_breakdown_row_formats_both_engines() {
+        let breakdown = ProofEngineBreakdown {
+            podem_test_exists: 850,
+            podem_proven: 120,
+            podem_aborted: 3,
+            sat_test_exists: 7,
+            sat_proven: 44,
+            sat_aborted: 1,
+        };
+        assert_eq!(breakdown.proven_total(), 164);
+        assert_eq!(breakdown.aborted_total(), 4);
+        assert_eq!(breakdown.test_exists_total(), 857);
+        assert_eq!(
+            breakdown.to_string(),
+            "PODEM 120 proven / 850 testable / 3 aborted; \
+             SAT 44 proven / 7 testable / 1 aborted"
+        );
+        // The report surfaces the row only when the proof stage ran.
+        let without = sample_report();
+        assert!(!without.to_string().contains("proof engines"));
+        let mut with = sample_report();
+        with.engine_breakdown = Some(breakdown);
+        let text = with.to_string();
+        assert!(
+            text.contains("proof engines: PODEM 120 proven"),
+            "breakdown row missing:\n{text}"
+        );
     }
 }

@@ -1,0 +1,206 @@
+//! Reader for the DIMACS CNF subset used by the `tests/` fixtures.
+//!
+//! Supported grammar:
+//!
+//! * `c ...` comment lines (anywhere),
+//! * one `p cnf <vars> <clauses>` problem line,
+//! * whitespace-separated signed integer literals with `0` terminating each
+//!   clause (clauses may span lines),
+//! * a trailing `%` line (the SATLIB convention) is tolerated and ends the
+//!   clause section.
+
+use crate::{Lit, Solver, Var};
+
+/// A parsed DIMACS CNF instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// Declared variable count from the problem line.
+    pub num_vars: usize,
+    /// The clauses, each a list of signed 1-based literals (no terminating 0).
+    pub clauses: Vec<Vec<i64>>,
+}
+
+impl Instance {
+    /// Loads this instance into a fresh [`Solver`], returning the solver and
+    /// the variables in DIMACS order (`vars[i]` is DIMACS variable `i + 1`).
+    pub fn load(&self) -> (Solver, Vec<Var>) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &self.clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&l| Lit::new(vars[(l.unsigned_abs() as usize) - 1], l > 0))
+                .collect();
+            solver.add_clause(&lits);
+        }
+        (solver, vars)
+    }
+}
+
+/// Errors a malformed DIMACS file can raise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// No `p cnf` problem line before the first clause.
+    MissingProblemLine,
+    /// More than one `p` line.
+    DuplicateProblemLine,
+    /// The problem line is not of the form `p cnf <vars> <clauses>`.
+    MalformedProblemLine(String),
+    /// A token was neither a signed integer nor a recognised marker.
+    BadToken(String),
+    /// A literal references a variable above the declared count.
+    VariableOutOfRange(i64),
+    /// The file ended inside an unterminated clause.
+    UnterminatedClause,
+    /// The clause count does not match the problem line.
+    ClauseCountMismatch {
+        /// Count declared on the `p` line.
+        declared: usize,
+        /// Clauses actually present.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingProblemLine => write!(f, "missing `p cnf` problem line"),
+            ParseError::DuplicateProblemLine => write!(f, "duplicate `p` problem line"),
+            ParseError::MalformedProblemLine(line) => {
+                write!(f, "malformed problem line: `{line}`")
+            }
+            ParseError::BadToken(token) => write!(f, "unexpected token `{token}`"),
+            ParseError::VariableOutOfRange(l) => {
+                write!(f, "literal {l} references an undeclared variable")
+            }
+            ParseError::UnterminatedClause => write!(f, "file ended inside a clause"),
+            ParseError::ClauseCountMismatch { declared, found } => write!(
+                f,
+                "problem line declares {declared} clauses but the file has {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses DIMACS CNF text.
+pub fn parse(text: &str) -> Result<Instance, ParseError> {
+    let mut num_vars: Option<usize> = None;
+    let mut declared_clauses = 0usize;
+    let mut clauses: Vec<Vec<i64>> = Vec::new();
+    let mut current: Vec<i64> = Vec::new();
+    let mut done = false;
+
+    'lines: for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if done {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if num_vars.is_some() {
+                return Err(ParseError::DuplicateProblemLine);
+            }
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            let parsed = match fields.as_slice() {
+                ["cnf", v, c] => v.parse::<usize>().ok().zip(c.parse::<usize>().ok()),
+                _ => None,
+            };
+            let (v, c) =
+                parsed.ok_or_else(|| ParseError::MalformedProblemLine(line.to_string()))?;
+            num_vars = Some(v);
+            declared_clauses = c;
+            continue;
+        }
+        let vars = num_vars.ok_or(ParseError::MissingProblemLine)?;
+        for token in line.split_whitespace() {
+            if token == "%" {
+                // SATLIB end-of-clauses marker; everything after is ignored.
+                done = true;
+                continue 'lines;
+            }
+            let value: i64 = token
+                .parse()
+                .map_err(|_| ParseError::BadToken(token.to_string()))?;
+            if value == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                if value.unsigned_abs() as usize > vars {
+                    return Err(ParseError::VariableOutOfRange(value));
+                }
+                current.push(value);
+            }
+        }
+    }
+
+    if !current.is_empty() {
+        return Err(ParseError::UnterminatedClause);
+    }
+    let num_vars = num_vars.ok_or(ParseError::MissingProblemLine)?;
+    if clauses.len() != declared_clauses {
+        return Err(ParseError::ClauseCountMismatch {
+            declared: declared_clauses,
+            found: clauses.len(),
+        });
+    }
+    Ok(Instance { num_vars, clauses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parses_comments_multiline_clauses_and_percent() {
+        let text = "c a satisfiable toy\np cnf 3 2\n1 -2\n0\n2 3 0\n%\n0\n";
+        let instance = parse(text).expect("valid DIMACS");
+        assert_eq!(instance.num_vars, 3);
+        assert_eq!(instance.clauses, vec![vec![1, -2], vec![2, 3]]);
+        let (mut solver, _) = instance.load();
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn rejects_missing_problem_line() {
+        assert_eq!(parse("1 2 0\n"), Err(ParseError::MissingProblemLine));
+    }
+
+    #[test]
+    fn rejects_out_of_range_variable() {
+        assert_eq!(
+            parse("p cnf 2 1\n3 0\n"),
+            Err(ParseError::VariableOutOfRange(3))
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        assert_eq!(
+            parse("p cnf 2 1\n1 2\n"),
+            Err(ParseError::UnterminatedClause)
+        );
+    }
+
+    #[test]
+    fn rejects_clause_count_mismatch() {
+        assert_eq!(
+            parse("p cnf 2 2\n1 0\n"),
+            Err(ParseError::ClauseCountMismatch {
+                declared: 2,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_tokens() {
+        assert_eq!(
+            parse("p cnf 1 1\nx 0\n"),
+            Err(ParseError::BadToken("x".to_string()))
+        );
+    }
+}

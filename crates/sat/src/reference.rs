@@ -1,0 +1,119 @@
+//! A deliberately naive DPLL reference solver.
+//!
+//! The differential test harness checks the CDCL core against this
+//! independent implementation on random 3-SAT instances: two engines built on
+//! different algorithms agreeing over thousands of instances is the
+//! strongest correctness oracle available offline. Exponential in the worst
+//! case — only suitable for the small instances the tests generate.
+
+use crate::Lit;
+
+/// Decides satisfiability of `clauses` over `num_vars` variables by
+/// depth-first search with unit propagation — no learning, no heuristics.
+pub fn dpll_satisfiable(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    let mut assigns: Vec<Option<bool>> = vec![None; num_vars];
+    search(clauses, &mut assigns)
+}
+
+fn search(clauses: &[Vec<Lit>], assigns: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint, recording what this level assigned so it
+    // can be undone on backtrack.
+    let mut assigned_here: Vec<usize> = Vec::new();
+    loop {
+        let mut changed = false;
+        for clause in clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut num_unassigned = 0;
+            let mut satisfied = false;
+            for &l in clause {
+                match assigns[l.var().index()] {
+                    Some(b) if b == l.is_positive() => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        unassigned = Some(l);
+                        num_unassigned += 1;
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match num_unassigned {
+                0 => {
+                    // Conflict: undo and fail.
+                    for v in assigned_here {
+                        assigns[v] = None;
+                    }
+                    return false;
+                }
+                1 => {
+                    let l = unassigned.expect("one unassigned literal");
+                    assigns[l.var().index()] = Some(l.is_positive());
+                    assigned_here.push(l.var().index());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Branch on the first unassigned variable.
+    match assigns.iter().position(|a| a.is_none()) {
+        None => true,
+        Some(v) => {
+            for value in [true, false] {
+                assigns[v] = Some(value);
+                if search(clauses, assigns) {
+                    return true;
+                }
+                assigns[v] = None;
+            }
+            for v in assigned_here {
+                assigns[v] = None;
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn clause(lits: &[i32]) -> Vec<Lit> {
+        lits.iter()
+            .map(|&l| Lit::new(Var::from_index((l.unsigned_abs() as usize) - 1), l > 0))
+            .collect()
+    }
+
+    #[test]
+    fn agrees_on_tiny_instances() {
+        assert!(dpll_satisfiable(1, &[clause(&[1])]));
+        assert!(!dpll_satisfiable(1, &[clause(&[1]), clause(&[-1])]));
+        assert!(dpll_satisfiable(
+            2,
+            &[clause(&[1, 2]), clause(&[-1, 2]), clause(&[1, -2])]
+        ));
+        assert!(!dpll_satisfiable(
+            2,
+            &[
+                clause(&[1, 2]),
+                clause(&[-1, 2]),
+                clause(&[1, -2]),
+                clause(&[-1, -2])
+            ]
+        ));
+    }
+
+    #[test]
+    fn empty_clause_set_is_satisfiable() {
+        assert!(dpll_satisfiable(0, &[]));
+        assert!(dpll_satisfiable(3, &[]));
+    }
+}

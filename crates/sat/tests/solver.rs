@@ -1,0 +1,248 @@
+//! Integration tests for the CDCL core: DIMACS fixtures, a differential
+//! property family against the naive DPLL reference, and the regression
+//! pinning that UNSAT under assumptions never leaks into an unconditioned
+//! verdict.
+
+use proptest::prelude::*;
+use sat::reference::dpll_satisfiable;
+use sat::{dimacs, Lit, SolveResult, Solver, Var};
+
+// ---------------------------------------------------------------------------
+// DIMACS fixtures
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chain_fixture_is_sat_and_the_model_checks_out() {
+    let instance = dimacs::parse(include_str!("fixtures/chain_sat.cnf")).expect("fixture parses");
+    assert_eq!(instance.num_vars, 5);
+    assert_eq!(instance.clauses.len(), 5);
+    let (mut solver, vars) = instance.load();
+    assert_eq!(solver.solve(), SolveResult::Sat);
+    // The implication chain forces the first four variables true.
+    for &v in &vars[..4] {
+        assert_eq!(solver.model_value(v), Some(true));
+    }
+    // The model satisfies every clause of the instance.
+    for clause in &instance.clauses {
+        assert!(clause.iter().any(|&l| {
+            solver.model_value(vars[(l.unsigned_abs() as usize) - 1]) == Some(l > 0)
+        }));
+    }
+}
+
+#[test]
+fn pigeonhole_fixture_is_unsat() {
+    let instance = dimacs::parse(include_str!("fixtures/php_4_3.cnf")).expect("fixture parses");
+    assert_eq!(instance.num_vars, 12);
+    assert_eq!(instance.clauses.len(), 22);
+    let (mut solver, _) = instance.load();
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+    // The DPLL reference concurs.
+    let clauses = dimacs_clauses(&instance);
+    assert!(!dpll_satisfiable(instance.num_vars, &clauses));
+}
+
+fn dimacs_clauses(instance: &dimacs::Instance) -> Vec<Vec<Lit>> {
+    instance
+        .clauses
+        .iter()
+        .map(|clause| {
+            clause
+                .iter()
+                .map(|&l| Lit::new(Var::from_index((l.unsigned_abs() as usize) - 1), l > 0))
+                .collect()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Differential property family: CDCL vs naive DPLL on random 3-SAT
+// ---------------------------------------------------------------------------
+
+/// Decodes a random byte soup into a 3-SAT instance over `num_vars`
+/// variables. Three bytes per clause: low bits pick the variable, bit 7 the
+/// polarity.
+fn decode_3sat(num_vars: usize, spec: &[u8]) -> Vec<Vec<Lit>> {
+    spec.chunks_exact(3)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&byte| {
+                    let var = Var::from_index(byte as usize % num_vars);
+                    Lit::new(var, byte & 0x80 == 0)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn cdcl_satisfiable(num_vars: usize, clauses: &[Vec<Lit>]) -> (SolveResult, Option<Vec<bool>>) {
+    let mut solver = Solver::new();
+    for _ in 0..num_vars {
+        solver.new_var();
+    }
+    for clause in clauses {
+        solver.add_clause(clause);
+    }
+    let result = solver.solve();
+    let model = (result == SolveResult::Sat).then(|| solver.model().to_vec());
+    (result, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Learned-clause solving and the naive DPLL reference agree on random
+    /// 3-SAT instances around the hard clause/variable ratio, and every SAT
+    /// model actually satisfies the instance.
+    #[test]
+    fn cdcl_agrees_with_dpll_on_random_3sat(
+        num_vars in 3usize..10,
+        spec in prop::collection::vec(any::<u8>(), 0..126),
+    ) {
+        let clauses = decode_3sat(num_vars, &spec);
+        let expected = dpll_satisfiable(num_vars, &clauses);
+        let (result, model) = cdcl_satisfiable(num_vars, &clauses);
+        prop_assert_eq!(result, if expected { SolveResult::Sat } else { SolveResult::Unsat });
+        if let Some(model) = model {
+            for clause in &clauses {
+                prop_assert!(
+                    clause.iter().any(|&l| model[l.var().index()] == l.is_positive()),
+                    "model violates clause {:?}", clause
+                );
+            }
+        }
+    }
+
+    /// Solving under assumptions equals solving the instance with the
+    /// assumptions added as unit clauses — and afterwards the *same* solver
+    /// still reproduces the unconditioned verdict (no state leak either way).
+    #[test]
+    fn assumption_solving_matches_unit_strengthening(
+        num_vars in 3usize..8,
+        spec in prop::collection::vec(any::<u8>(), 0..90),
+        assumption_spec in prop::collection::vec(any::<u8>(), 1..4),
+    ) {
+        let clauses = decode_3sat(num_vars, &spec);
+        // Distinct-variable assumptions (re-assuming a variable both ways is
+        // legal but trivially Unsat, which the strengthened reference also
+        // reports; dedup keeps the comparison interesting).
+        let mut assumptions: Vec<Lit> = Vec::new();
+        for &byte in &assumption_spec {
+            let lit = Lit::new(Var::from_index(byte as usize % num_vars), byte & 0x80 == 0);
+            if !assumptions.iter().any(|a| a.var() == lit.var()) {
+                assumptions.push(lit);
+            }
+        }
+
+        let mut strengthened = clauses.clone();
+        strengthened.extend(assumptions.iter().map(|&l| vec![l]));
+        let expected_assumed = dpll_satisfiable(num_vars, &strengthened);
+        let expected_free = dpll_satisfiable(num_vars, &clauses);
+
+        let mut solver = Solver::new();
+        for _ in 0..num_vars {
+            solver.new_var();
+        }
+        for clause in &clauses {
+            solver.add_clause(clause);
+        }
+        let assumed = solver.solve_with_assumptions(&assumptions);
+        prop_assert_eq!(
+            assumed,
+            if expected_assumed { SolveResult::Sat } else { SolveResult::Unsat }
+        );
+        if assumed == SolveResult::Sat {
+            for &l in &assumptions {
+                prop_assert_eq!(solver.model_value(l.var()), Some(l.is_positive()));
+            }
+        }
+        // The same solver, unconditioned, must match the free verdict: the
+        // clauses learned under assumptions are ordinary resolvents.
+        let free = solver.solve();
+        prop_assert_eq!(
+            free,
+            if expected_free { SolveResult::Sat } else { SolveResult::Unsat }
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: assumption UNSAT must never leak
+// ---------------------------------------------------------------------------
+
+/// Encodes the pigeonhole principle (`pigeons` into `holes`), every clause
+/// prefixed with `gate` (pass an empty slice for the plain instance). Returns
+/// the placement variables.
+fn gated_pigeonhole(
+    solver: &mut Solver,
+    pigeons: usize,
+    holes: usize,
+    gate: &[Lit],
+) -> Vec<Vec<Var>> {
+    let v: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| solver.new_var()).collect())
+        .collect();
+    for pigeon in &v {
+        let mut clause = gate.to_vec();
+        clause.extend(pigeon.iter().map(|&x| Lit::positive(x)));
+        solver.add_clause(&clause);
+    }
+    for j in 0..holes {
+        for (i1, p1) in v.iter().enumerate() {
+            for p2 in &v[i1 + 1..] {
+                let mut clause = gate.to_vec();
+                clause.push(Lit::negative(p1[j]));
+                clause.push(Lit::negative(p2[j]));
+                solver.add_clause(&clause);
+            }
+        }
+    }
+    v
+}
+
+/// A selector-gated pigeonhole instance: assuming the selector turns the
+/// solver loose on an unsatisfiable core and forces heavy clause learning;
+/// the unconditioned instance stays satisfiable (selector false). The learnt
+/// clauses must not flip any later unconditioned verdict.
+#[test]
+fn unsat_under_assumptions_never_leaks_into_unconditioned_solves() {
+    let mut solver = Solver::new();
+    let selector = solver.new_var();
+    let holes = gated_pigeonhole(&mut solver, 5, 4, &[Lit::negative(selector)]);
+
+    // Interleave assumed-UNSAT solves (which learn aggressively) with
+    // unconditioned solves; the latter must stay Sat every round.
+    for round in 0..3 {
+        assert_eq!(
+            solver.solve_with_assumptions(&[Lit::positive(selector)]),
+            SolveResult::Unsat,
+            "round {round}: gated pigeonhole must be Unsat under the selector"
+        );
+        assert_eq!(
+            solver.solve(),
+            SolveResult::Sat,
+            "round {round}: assumption UNSAT leaked into the unconditioned verdict"
+        );
+        assert_eq!(solver.model_value(selector), Some(false));
+    }
+    // A conflicting assumption pair is also quarantined.
+    let p = Lit::positive(holes[0][0]);
+    assert_eq!(
+        solver.solve_with_assumptions(&[p, p.negated()]),
+        SolveResult::Unsat
+    );
+    assert_eq!(solver.solve(), SolveResult::Sat);
+}
+
+/// Conflict-limit exhaustion must report `Unknown` — and leave the solver
+/// able to finish the proof once the limit is lifted.
+#[test]
+fn conflict_limited_unknown_is_not_a_verdict_and_is_recoverable() {
+    let mut solver = Solver::new();
+    gated_pigeonhole(&mut solver, 6, 5, &[]);
+    solver.set_conflict_limit(Some(2));
+    assert_eq!(solver.solve(), SolveResult::Unknown);
+    solver.set_conflict_limit(None);
+    assert_eq!(solver.solve(), SolveResult::Unsat);
+}

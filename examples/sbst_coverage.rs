@@ -6,10 +6,10 @@
 //! 1. baseline structural analysis plus the four §3 screening rules,
 //! 2. compiled-engine fault simulation of the whole surviving universe
 //!    against the four-program SBST suite, observing only the system bus,
-//! 3. the constraint-aware PODEM proof stage over **every** fault that
-//!    survives both — cone-clipped, SCOAP-guided and collapse-scheduled, so
-//!    the full survivor set is affordable — re-labelling everything it
-//!    proves as `OU(atpg-proof)`.
+//! 3. the constraint-aware PODEM/SAT proof portfolio over **every** fault
+//!    that survives both — cone-clipped, SCOAP-guided and
+//!    collapse-scheduled, with PODEM aborts escalated to the SAT backend —
+//!    re-labelling everything it proves as `OU(atpg-proof)`.
 //!
 //! The coverage figures are then exact (every fault graded, no sampling):
 //! detected / universe before pruning, detected / (universe − untestable)
@@ -22,17 +22,21 @@
 //! $ cargo run --release --example sbst_coverage -- --quick   # reduced SoC, for iterating
 //! $ cargo run --release --example sbst_coverage -- --threads 4
 //! $ cargo run --release --example sbst_coverage -- --max-proof 2000 --seed 2013
+//! $ cargo run --release --example sbst_coverage -- --no-sat
 //! ```
 //!
 //! * `--quick` runs the reduced SoC instead of the industrial one, cutting
-//!   the multi-second run to well under a second;
+//!   the multi-minute run down to seconds;
 //! * `--threads N` pins the proof-stage fan-out (default: the machine's
 //!   available parallelism; classifications are thread-invariant);
 //! * `--max-proof N` caps the proof worklist at `N` survivors (default:
 //!   unlimited — the whole survivor set is proven);
 //! * `--seed S` draws the capped worklist as a seeded random sample of the
 //!   survivors instead of a universe-order prefix (only meaningful together
-//!   with `--max-proof`).
+//!   with `--max-proof`);
+//! * `--no-sat` turns the SAT escalation off (PODEM only) — the portfolio's
+//!   conflict-limited tail dominates the proof stage's wall-clock, so this
+//!   is the biggest lever when iterating on the industrial SoC.
 
 use faultmodel::UntestableSource;
 use online_untestable::flow::ProofStageConfig;
@@ -44,6 +48,7 @@ struct Options {
     threads: usize,
     max_proof: Option<usize>,
     seed: Option<u64>,
+    sat: bool,
 }
 
 fn parse_options() -> Options {
@@ -52,6 +57,7 @@ fn parse_options() -> Options {
         threads: 0,
         max_proof: None,
         seed: None,
+        sat: true,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,11 +71,14 @@ fn parse_options() -> Options {
                 options.threads = value("--threads").parse().expect("--threads: integer")
             }
             "--max-proof" => {
-                options.max_proof = Some(value("--max-proof").parse().expect("--max-proof: integer"))
+                options.max_proof =
+                    Some(value("--max-proof").parse().expect("--max-proof: integer"))
             }
             "--seed" => options.seed = Some(value("--seed").parse().expect("--seed: integer")),
+            "--no-sat" => options.sat = false,
             other => panic!(
-                "unknown argument `{other}` (expected --quick, --threads N, --max-proof N, --seed S)"
+                "unknown argument `{other}` (expected --quick, --threads N, --max-proof N, \
+                 --seed S, --no-sat)"
             ),
         }
     }
@@ -96,6 +105,7 @@ fn main() {
             threads: options.threads,
             max_faults: options.max_proof,
             sample_seed: options.seed,
+            use_sat: options.sat,
             ..ProofStageConfig::default()
         },
         ..FlowConfig::full_pipeline()
@@ -119,6 +129,9 @@ fn main() {
         "proven by ATPG (atpg-proof) : {}",
         report.count_for(UntestableSource::AtpgProof)
     );
+    if let Some(breakdown) = &report.engine_breakdown {
+        println!("proof-engine breakdown      : {breakdown}");
+    }
     println!("coverage before pruning     : {:.1}%", raw * 100.0);
     println!("coverage after pruning      : {:.1}%", pruned * 100.0);
     println!(
@@ -131,8 +144,8 @@ fn main() {
          once the 29,657 on-line functionally untestable faults are removed\n\
          from the fault list. The atpg-proof bucket is this reproduction's\n\
          extension: faults no structural rule can attribute, *proven*\n\
-         untestable by PODEM under the mission constraints — over the full\n\
-         survivor set, not a budgeted slice."
+         untestable by the PODEM/SAT portfolio under the mission\n\
+         constraints — over the full survivor set, not a budgeted slice."
     );
     assert!(
         report.count_for(UntestableSource::AtpgProof) > 0,
