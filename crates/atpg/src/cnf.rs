@@ -31,10 +31,17 @@ use faultmodel::{FaultSite, StuckAt};
 use netlist::{graph, CellId, CellKind, NetId, Netlist, PinIndex};
 use sat::{Lit, SolveResult, Solver, Var};
 
+use crate::budget::AbortReason;
 use crate::compiled::{SimScratch, NO_INDEX};
 use crate::constant::ConstraintSet;
 use crate::logic::Logic;
 use crate::sim::{CombSim, NetValues};
+
+/// Default ceiling on the number of CNF clauses one proof attempt may build.
+/// A pathological cone (huge reconvergent fan-in) hits this guard and comes
+/// back [`SatVerdict::Unsupported`] instead of exhausting memory inside the
+/// solver.
+pub const DEFAULT_CLAUSE_LIMIT: usize = 4_000_000;
 
 /// Outcome of one SAT proof attempt.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -509,6 +516,11 @@ pub struct SatProver<'a> {
     extractor: graph::ConeExtractor,
     gate_of_cell: Vec<u32>,
     conflict_limit: u64,
+    clause_limit: usize,
+    interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    deadline: Option<std::time::Instant>,
+    last_abort_reason: Option<AbortReason>,
+    corrupt_next_model: bool,
     good_buf: NetValues,
     faulty_buf: NetValues,
     scratch: SimScratch,
@@ -568,14 +580,54 @@ impl<'a> SatProver<'a> {
             extractor,
             gate_of_cell,
             conflict_limit,
+            clause_limit: DEFAULT_CLAUSE_LIMIT,
+            interrupt: None,
+            deadline: None,
+            last_abort_reason: None,
+            corrupt_next_model: false,
             good_buf,
             faulty_buf,
             scratch,
         })
     }
 
+    /// Installs (or clears) the cooperative search limits: an interrupt flag
+    /// and a wall-clock deadline handed to the CDCL solver of every
+    /// subsequent [`prove`](Self::prove) call.
+    pub fn set_search_limits(
+        &mut self,
+        interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+        deadline: Option<std::time::Instant>,
+    ) {
+        self.interrupt = interrupt;
+        self.deadline = deadline;
+    }
+
+    /// Overrides the clause-count guard (default
+    /// [`DEFAULT_CLAUSE_LIMIT`]). An encoding larger than the limit comes
+    /// back [`SatVerdict::Unsupported`].
+    pub fn set_clause_limit(&mut self, limit: usize) {
+        self.clause_limit = limit;
+    }
+
+    /// Why the most recent [`prove`](Self::prove) call came back
+    /// [`SatVerdict::Aborted`] or [`SatVerdict::Unsupported`] (`None` after
+    /// a concluded verdict).
+    pub fn last_abort_reason(&self) -> Option<AbortReason> {
+        self.last_abort_reason
+    }
+
+    /// Failure injection (test harness): corrupt the model extracted by the
+    /// *next* `Sat` answer before the simulation replay, proving the replay
+    /// check rejects a bogus test instead of trusting it.
+    #[doc(hidden)]
+    pub fn corrupt_next_model(&mut self) {
+        self.corrupt_next_model = true;
+    }
+
     /// Attempts a definitive verdict for one stuck-at fault.
     pub fn prove(&mut self, fault: StuckAt) -> SatVerdict {
+        self.last_abort_reason = None;
         let site_net = match fault.site {
             FaultSite::CellOutput { cell } => match self.netlist.output_net(cell) {
                 Some(net) => net,
@@ -627,7 +679,10 @@ impl<'a> SatProver<'a> {
             &mut faulty,
         ) {
             Ok(d) => d,
-            Err(Unsupported) => return SatVerdict::Unsupported,
+            Err(Unsupported) => {
+                self.last_abort_reason = Some(AbortReason::Unsupported);
+                return SatVerdict::Unsupported;
+            }
         };
         if !detection.trivially_detected {
             if detection.terms.is_empty() {
@@ -637,16 +692,39 @@ impl<'a> SatProver<'a> {
             }
             cnf.solver.add_clause(&detection.terms);
         }
+        if cnf.solver.num_clauses() > self.clause_limit {
+            // The cone blew past the clause guard: decline before handing the
+            // solver an encoding that could exhaust memory.
+            self.last_abort_reason = Some(AbortReason::Unsupported);
+            return SatVerdict::Unsupported;
+        }
         cnf.solver.set_conflict_limit(Some(self.conflict_limit));
+        cnf.solver.set_interrupt(self.interrupt.clone());
+        cnf.solver.set_deadline(self.deadline);
         match cnf.solver.solve_with_assumptions(&cnf.assumptions) {
             SolveResult::Unsat => SatVerdict::ProvenUntestable,
-            SolveResult::Unknown => SatVerdict::Aborted,
+            SolveResult::Unknown => {
+                self.last_abort_reason = Some(if cnf.solver.was_interrupted() {
+                    AbortReason::Timeout
+                } else {
+                    AbortReason::Conflicts
+                });
+                SatVerdict::Aborted
+            }
             SolveResult::Sat => {
-                let assignment: Vec<(NetId, bool)> = cnf
+                let injected = std::mem::take(&mut self.corrupt_next_model);
+                let mut assignment: Vec<(NetId, bool)> = cnf
                     .inputs
                     .iter()
                     .map(|&(net, var)| (net, cnf.solver.model_value(var).unwrap_or(false)))
                     .collect();
+                if injected {
+                    // Failure injection: flip every model bit so the replay
+                    // check faces a maximally wrong test.
+                    for (_, value) in &mut assignment {
+                        *value = !*value;
+                    }
+                }
                 let detected = replay_detects(
                     &self.sim,
                     &self.forced,
@@ -664,7 +742,8 @@ impl<'a> SatProver<'a> {
                 } else {
                     // The simulator refused the model: the encoding and the
                     // engine disagree somewhere. Never trust the model.
-                    debug_assert!(false, "SAT model failed simulation replay for {fault:?}");
+                    debug_assert!(injected, "SAT model failed simulation replay for {fault:?}");
+                    self.last_abort_reason = Some(AbortReason::Unsupported);
                     SatVerdict::Aborted
                 }
             }

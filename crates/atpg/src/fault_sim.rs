@@ -43,6 +43,7 @@ pub struct FaultSim<'a> {
     netlist: &'a Netlist,
     program: CompiledProgram,
     outputs: Vec<CellId>,
+    cancel: Option<crate::budget::CancelToken>,
 }
 
 impl<'a> FaultSim<'a> {
@@ -56,7 +57,23 @@ impl<'a> FaultSim<'a> {
             netlist,
             program: CompiledProgram::compile(netlist)?,
             outputs: netlist.primary_outputs(),
+            cancel: None,
         })
+    }
+
+    /// Installs (or clears) a cooperative cancel token polled before every
+    /// 63-fault chunk. Chunks skipped after cancellation report *no*
+    /// detections — the safe direction: an undetected fault stays in the
+    /// population for the next (resumed) campaign, it is never classified on
+    /// a simulation that did not run.
+    pub fn set_cancel(&mut self, cancel: Option<crate::budget::CancelToken>) {
+        self.cancel = cancel;
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(crate::budget::CancelToken::is_cancelled)
     }
 
     /// The netlist being simulated.
@@ -198,6 +215,9 @@ impl<'a> FaultSim<'a> {
             return chunks
                 .iter()
                 .map(|chunk| {
+                    if self.cancelled() {
+                        return 0;
+                    }
                     self.simulate_chunk(
                         chunk,
                         faults,
@@ -217,6 +237,9 @@ impl<'a> FaultSim<'a> {
                     let mut scratch = self.program.packed_scratch();
                     let mut injection = self.program.packed_injection();
                     loop {
+                        if self.cancelled() {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&chunk) = chunks.get(i) else { break };
                         let mask = self.simulate_chunk(

@@ -57,6 +57,8 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod budget;
+pub mod checkpoint;
 pub mod cnf;
 pub mod compiled;
 pub mod constant;
@@ -69,6 +71,8 @@ pub mod sim;
 pub mod tpg;
 
 pub use analysis::{AnalysisConfig, AnalysisOutcome, StructuralAnalysis};
+pub use budget::{AbortReason, Budget, CancelToken, FailurePlan};
+pub use checkpoint::{campaign_fingerprint, Checkpoint, CheckpointError};
 pub use cnf::{SatProver, SatVerdict};
 pub use compiled::{CompiledProgram, PackedInjection, PackedScratch, PackedVectors, SimScratch};
 pub use constant::{propagate_constants, ConstantValues, ConstraintSet};
@@ -76,8 +80,8 @@ pub use fault_sim::{FaultSim, FaultSimOutcome, InputVector};
 pub use logic::Logic;
 pub use podem::{Podem, PodemConfig, PodemOutcome, ProofOutcome, TestPattern};
 pub use proof::{
-    prove_faults, prove_faults_with_engines, EngineBreakdown, EngineOutcome, ProofConfig,
-    ProofEngine, ProofStats,
+    prove_faults, prove_faults_campaign, prove_faults_with_engines, CampaignOutcome,
+    EngineBreakdown, EngineOutcome, ProofConfig, ProofEngine, ProofStats,
 };
 pub use scoap::{compute_scoap, Scoap, SCOAP_INFINITY};
 pub use sim::{CombSim, SeqSim};

@@ -259,6 +259,14 @@ pub struct Podem<'a> {
     good_buf: NetValues,
     faulty_buf: NetValues,
     last_backtracks: usize,
+    /// Cooperative interrupt flag polled once per search step; `true` aborts
+    /// the current search.
+    interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Wall-clock deadline polled alongside the interrupt flag.
+    deadline: Option<std::time::Instant>,
+    /// Whether the most recent search aborted because of the interrupt flag
+    /// or the deadline rather than the backtrack budget.
+    last_interrupted: bool,
     scoap: Option<Scoap>,
     clip: Option<ClipEngine>,
     search: SearchScratch,
@@ -361,6 +369,9 @@ impl<'a> Podem<'a> {
             good_buf,
             faulty_buf,
             last_backtracks: 0,
+            interrupt: None,
+            deadline: None,
+            last_interrupted: false,
             scoap,
             clip,
             search,
@@ -373,6 +384,42 @@ impl<'a> Podem<'a> {
     /// backtrack budget.
     pub fn last_backtracks(&self) -> usize {
         self.last_backtracks
+    }
+
+    /// Installs (or clears) the cooperative search limits: an interrupt flag
+    /// and a wall-clock deadline, both polled once per search step. When
+    /// either trips, the search gives up with
+    /// [`PodemOutcome::Aborted`] and
+    /// [`last_search_interrupted`](Self::last_search_interrupted) reads
+    /// `true` — distinguishing a wall-clock give-up from a deterministic
+    /// backtrack-budget one.
+    pub fn set_search_limits(
+        &mut self,
+        interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+        deadline: Option<std::time::Instant>,
+    ) {
+        self.interrupt = interrupt;
+        self.deadline = deadline;
+    }
+
+    /// Whether the most recent [`generate`](Self::generate) /
+    /// [`prove`](Self::prove) aborted because the interrupt flag or the
+    /// deadline tripped (as opposed to exhausting the backtrack budget).
+    pub fn last_search_interrupted(&self) -> bool {
+        self.last_interrupted
+    }
+
+    /// The interrupt flag reads `true` or the deadline has passed.
+    fn stop_requested(&self) -> bool {
+        if self
+            .interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(std::sync::atomic::Ordering::Relaxed))
+        {
+            return true;
+        }
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 
     /// The net carrying the fault-free value of the fault site.
@@ -721,7 +768,7 @@ impl<'a> Podem<'a> {
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut clip = self.clip.take();
         let mut search = std::mem::take(&mut self.search);
-        let (outcome, backtracks) = self.generate_inner(
+        let (outcome, backtracks, interrupted) = self.generate_inner(
             fault,
             &mut good,
             &mut faulty,
@@ -735,6 +782,7 @@ impl<'a> Podem<'a> {
         self.clip = clip;
         self.search = search;
         self.last_backtracks = backtracks;
+        self.last_interrupted = interrupted;
         outcome
     }
 
@@ -885,11 +933,11 @@ impl<'a> Podem<'a> {
         scratch: &mut SimScratch,
         clip: Option<&mut ClipEngine>,
         search: &mut SearchScratch,
-    ) -> (PodemOutcome, usize) {
+    ) -> (PodemOutcome, usize, bool) {
         let Some(site_net) = self.site_net(fault) else {
             // Detached output pin: nothing to excite or observe — redundant in
             // this frame.
-            return (PodemOutcome::Redundant, 0);
+            return (PodemOutcome::Redundant, 0, false);
         };
         if good.len() != self.netlist.num_nets() {
             *good = self.sim.blank_values();
@@ -915,8 +963,15 @@ impl<'a> Podem<'a> {
         // Decision stack: (net, current value, tried_both).
         let mut stack: Vec<(NetId, bool, bool)> = Vec::new();
         let mut backtracks = 0usize;
+        let mut interrupted = false;
 
         let outcome = 'search: loop {
+            // Cooperative stop: one poll per decision step bounds the
+            // cancellation latency by a single simulation pass.
+            if self.stop_requested() {
+                interrupted = true;
+                break 'search PodemOutcome::Aborted;
+            }
             match clip {
                 Some(c) => {
                     // The good machine is already current (incrementally
@@ -1019,7 +1074,7 @@ impl<'a> Podem<'a> {
             }
             self.good_flush(c, search, good);
         }
-        (outcome, backtracks)
+        (outcome, backtracks, interrupted)
     }
 }
 

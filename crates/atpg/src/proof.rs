@@ -38,13 +38,30 @@
 //! records the engine that produced it ([`EngineOutcome`]), and the CNF is
 //! built deterministically, so the portfolio keeps the thread-invariance
 //! guarantee.
+//!
+//! The fan-out is also the campaign's *survivability* layer
+//! ([`prove_faults_campaign`]): a [`Budget`] bounds the run with a
+//! cooperative cancel token, a whole-stage deadline and a per-fault
+//! wall-clock limit (expiry turns a hang into an
+//! [`AbortReason::Timeout`] verdict, never a lost run); each per-fault proof
+//! runs under `catch_unwind`, so an engine bug on one cone records
+//! [`AbortReason::Panicked`] for that fault while the campaign continues;
+//! and an optional [`Checkpoint`] persists
+//! verdicts incrementally so an interrupted campaign resumes by re-proving
+//! only what never concluded. The checkpoint is applied by pre-seeding the
+//! result slots *before* scheduling and the collapse classes are computed
+//! over the full population, so a resumed run replays the uninterrupted
+//! schedule exactly — the merged classification is bit-identical.
 
+use crate::budget::{AbortReason, Budget, CancelToken, FailurePlan};
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::cnf::{SatProver, SatVerdict};
 use crate::constant::ConstraintSet;
 use crate::podem::{Podem, PodemConfig, ProofOutcome};
 use faultmodel::{collapse_with_barriers, FaultList, StuckAt};
 use netlist::{graph, Netlist};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Faults claimed per cursor bump: small enough to balance a skewed workload
 /// (aborts cost orders of magnitude more than quick proofs), large enough to
@@ -83,6 +100,10 @@ pub struct ProofConfig {
     /// Conflict budget per SAT escalation; exhaustion keeps the fault
     /// aborted. `u64::MAX` is effectively unbounded.
     pub sat_conflict_limit: u64,
+    /// Deterministic failure injection for the robustness regression suite
+    /// (see [`FailurePlan`]); `None` — the default — injects nothing.
+    /// Production callers leave this unset.
+    pub failure_plan: Option<FailurePlan>,
 }
 
 impl Default for ProofConfig {
@@ -96,6 +117,7 @@ impl Default for ProofConfig {
             use_x_path: true,
             use_sat: false,
             sat_conflict_limit: 20_000,
+            failure_plan: None,
         }
     }
 }
@@ -173,6 +195,30 @@ pub struct EngineOutcome {
     /// The engine responsible for it. A collapse-expanded member carries its
     /// class representative's engine: that is the proof that covers it.
     pub engine: ProofEngine,
+    /// Why an [`Aborted`](ProofOutcome::Aborted) verdict gave up; `None` for
+    /// concluded verdicts.
+    pub reason: Option<AbortReason>,
+}
+
+impl EngineOutcome {
+    /// A concluded verdict (no abort reason).
+    pub fn concluded(outcome: ProofOutcome, engine: ProofEngine) -> Self {
+        debug_assert_ne!(outcome, ProofOutcome::Aborted, "aborts carry a reason");
+        EngineOutcome {
+            outcome,
+            engine,
+            reason: None,
+        }
+    }
+
+    /// An aborted verdict with its reason.
+    pub fn aborted(engine: ProofEngine, reason: AbortReason) -> Self {
+        EngineOutcome {
+            outcome: ProofOutcome::Aborted,
+            engine,
+            reason: Some(reason),
+        }
+    }
 }
 
 /// Per-engine tally of a portfolio run: how the final verdicts split between
@@ -192,6 +238,17 @@ pub struct EngineBreakdown {
     pub sat_proven: usize,
     /// SAT escalations whose conflict budget ran out: still aborted.
     pub sat_aborted: usize,
+    /// Aborts that exhausted the PODEM backtrack budget.
+    pub aborted_backtracks: usize,
+    /// Aborts that exhausted the SAT conflict budget.
+    pub aborted_conflicts: usize,
+    /// Aborts from a wall-clock limit or a campaign cancellation — the
+    /// deadline-hit count.
+    pub aborted_timeout: usize,
+    /// Aborts from a caught per-fault engine panic.
+    pub aborted_panicked: usize,
+    /// Aborts kept because the SAT encoding declined the fault.
+    pub aborted_unsupported: usize,
 }
 
 impl EngineBreakdown {
@@ -208,58 +265,113 @@ impl EngineBreakdown {
                 (ProofEngine::Sat, ProofOutcome::Aborted) => &mut b.sat_aborted,
             };
             *slot += 1;
+            if let Some(reason) = o.reason {
+                let slot = match reason {
+                    AbortReason::Backtracks => &mut b.aborted_backtracks,
+                    AbortReason::Conflicts => &mut b.aborted_conflicts,
+                    AbortReason::Timeout => &mut b.aborted_timeout,
+                    AbortReason::Panicked => &mut b.aborted_panicked,
+                    AbortReason::Unsupported => &mut b.aborted_unsupported,
+                };
+                *slot += 1;
+            }
         }
         b
     }
 }
 
+// Result-slot codes: 1 = TestExists, 2 = ProvenUntestable, 3..=7 = Aborted
+// (one per AbortReason), all +7 for the SAT engine. 0 stays the never-written
+// initializer.
 fn encode(result: EngineOutcome) -> u8 {
     let base = match result.outcome {
         ProofOutcome::TestExists => 1,
         ProofOutcome::ProvenUntestable => 2,
-        ProofOutcome::Aborted => 3,
+        ProofOutcome::Aborted => {
+            3 + match result.reason.unwrap_or(AbortReason::Backtracks) {
+                AbortReason::Backtracks => 0,
+                AbortReason::Conflicts => 1,
+                AbortReason::Timeout => 2,
+                AbortReason::Panicked => 3,
+                AbortReason::Unsupported => 4,
+            }
+        }
     };
     match result.engine {
         ProofEngine::Podem => base,
-        ProofEngine::Sat => base + 3,
+        ProofEngine::Sat => base + 7,
     }
 }
 
 fn decode(code: u8) -> EngineOutcome {
-    let engine = if code >= 4 {
+    let engine = if code >= 8 {
         ProofEngine::Sat
     } else {
         ProofEngine::Podem
     };
-    let outcome = match code {
-        1 | 4 => ProofOutcome::TestExists,
-        2 | 5 => ProofOutcome::ProvenUntestable,
-        3 | 6 => ProofOutcome::Aborted,
+    let base = if code >= 8 { code - 7 } else { code };
+    match base {
+        1 => EngineOutcome::concluded(ProofOutcome::TestExists, engine),
+        2 => EngineOutcome::concluded(ProofOutcome::ProvenUntestable, engine),
+        3 => EngineOutcome::aborted(engine, AbortReason::Backtracks),
+        4 => EngineOutcome::aborted(engine, AbortReason::Conflicts),
+        5 => EngineOutcome::aborted(engine, AbortReason::Timeout),
+        6 => EngineOutcome::aborted(engine, AbortReason::Panicked),
+        7 => EngineOutcome::aborted(engine, AbortReason::Unsupported),
         // 0 is the never-written initializer: a fan-out scheduling bug that
         // skipped a fault. Mapping it to `Aborted` would disguise the bug as
         // a legitimate budget give-up, so fail loudly instead.
         other => panic!("proof fan-out left a fault unvisited (result code {other})"),
-    };
-    EngineOutcome { outcome, engine }
+    }
 }
 
 /// Proves one fault on the portfolio: PODEM first, SAT escalation on abort
 /// (when enabled). The SAT engine is built lazily on the first abort so the
 /// common all-concluded path never pays for it.
+#[allow(clippy::too_many_arguments)]
 fn prove_one<'a>(
     netlist: &'a Netlist,
     constraints: &ConstraintSet,
     config: &ProofConfig,
+    budget: &Budget,
     podem: &mut Podem<'a>,
     sat_engine: &mut Option<SatProver<'a>>,
+    index: usize,
     fault: StuckAt,
 ) -> EngineOutcome {
+    let deadline = budget.fault_deadline(Instant::now());
+    let interrupt = budget.cancel.as_ref().map(CancelToken::flag);
+    if let Some(plan) = config.failure_plan {
+        if plan.panic_on == Some(index) {
+            panic!("injected engine panic on fault index {index}");
+        }
+        if plan.stall_on == Some(index) {
+            // A simulated hang: block until a budget limit trips. With no
+            // limit configured nothing ever would, so give up immediately
+            // instead of wedging the harness.
+            if budget.cancel.is_none() && deadline.is_none() {
+                return EngineOutcome::aborted(ProofEngine::Podem, AbortReason::Timeout);
+            }
+            loop {
+                if budget.stage_stopped() || deadline.is_some_and(|d| Instant::now() >= d) {
+                    return EngineOutcome::aborted(ProofEngine::Podem, AbortReason::Timeout);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+    podem.set_search_limits(interrupt.clone(), deadline);
     let outcome = podem.prove(fault);
-    if outcome != ProofOutcome::Aborted || !config.use_sat {
-        return EngineOutcome {
-            outcome,
-            engine: ProofEngine::Podem,
-        };
+    if outcome != ProofOutcome::Aborted {
+        return EngineOutcome::concluded(outcome, ProofEngine::Podem);
+    }
+    if podem.last_search_interrupted() {
+        // A wall-clock give-up must not escalate: the SAT attempt would blow
+        // the very deadline that stopped the search.
+        return EngineOutcome::aborted(ProofEngine::Podem, AbortReason::Timeout);
+    }
+    if !config.use_sat {
+        return EngineOutcome::aborted(ProofEngine::Podem, AbortReason::Backtracks);
     }
     let sat = match sat_engine {
         Some(sat) => sat,
@@ -268,32 +380,88 @@ fn prove_one<'a>(
                 .expect("levelization already validated"),
         ),
     };
+    sat.set_search_limits(interrupt, deadline);
+    if config
+        .failure_plan
+        .is_some_and(|p| p.bogus_sat_model_on == Some(index))
+    {
+        sat.corrupt_next_model();
+    }
     match sat.prove(fault) {
-        SatVerdict::TestExists => EngineOutcome {
-            outcome: ProofOutcome::TestExists,
-            engine: ProofEngine::Sat,
-        },
-        SatVerdict::ProvenUntestable => EngineOutcome {
-            outcome: ProofOutcome::ProvenUntestable,
-            engine: ProofEngine::Sat,
-        },
-        SatVerdict::Aborted => EngineOutcome {
-            outcome: ProofOutcome::Aborted,
-            engine: ProofEngine::Sat,
-        },
+        SatVerdict::TestExists => {
+            EngineOutcome::concluded(ProofOutcome::TestExists, ProofEngine::Sat)
+        }
+        SatVerdict::ProvenUntestable => {
+            EngineOutcome::concluded(ProofOutcome::ProvenUntestable, ProofEngine::Sat)
+        }
+        SatVerdict::Aborted => EngineOutcome::aborted(
+            ProofEngine::Sat,
+            sat.last_abort_reason().unwrap_or(AbortReason::Conflicts),
+        ),
         // The encoding declined (outside its exactness preconditions): keep
         // PODEM's abort untouched.
-        SatVerdict::Unsupported => EngineOutcome {
-            outcome: ProofOutcome::Aborted,
-            engine: ProofEngine::Podem,
-        },
+        SatVerdict::Unsupported => {
+            EngineOutcome::aborted(ProofEngine::Podem, AbortReason::Unsupported)
+        }
+    }
+}
+
+/// [`prove_one`] under per-fault panic isolation and the stage budget.
+///
+/// A stage-stopped budget short-circuits to an
+/// [`AbortReason::Timeout`] verdict; a panic inside the engines is caught,
+/// recorded as [`AbortReason::Panicked`], and the (possibly poisoned —
+/// PODEM's reusable buffers are moved out during a search) engines are
+/// dropped so the next fault rebuilds them from scratch.
+#[allow(clippy::too_many_arguments)]
+fn prove_guarded<'a>(
+    netlist: &'a Netlist,
+    constraints: &ConstraintSet,
+    config: &ProofConfig,
+    budget: &Budget,
+    podem_slot: &mut Option<Podem<'a>>,
+    sat_slot: &mut Option<SatProver<'a>>,
+    index: usize,
+    fault: StuckAt,
+) -> EngineOutcome {
+    if budget.stage_stopped() {
+        return EngineOutcome::aborted(ProofEngine::Podem, AbortReason::Timeout);
+    }
+    let podem = match podem_slot {
+        Some(podem) => podem,
+        None => podem_slot.insert(
+            Podem::new(netlist, constraints, config.podem_config())
+                .expect("levelization already validated"),
+        ),
+    };
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        prove_one(
+            netlist,
+            constraints,
+            config,
+            budget,
+            podem,
+            sat_slot,
+            index,
+            fault,
+        )
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(_) => {
+            *podem_slot = None;
+            *sat_slot = None;
+            EngineOutcome::aborted(ProofEngine::Podem, AbortReason::Panicked)
+        }
     }
 }
 
 /// Proves every fault in `worklist` (indices into `faults`) with a fan-out
 /// over scoped worker threads, writing `encode`d outcomes into `results` at
-/// the worklist positions. Below two resolved workers the faults are proven
-/// on `single_engine`, built lazily and kept alive across calls — the
+/// the worklist positions. Slots already holding a verdict (pre-seeded from
+/// a checkpoint) are skipped; freshly proven verdicts are appended to the
+/// checkpoint as they conclude. Below two resolved workers the faults are
+/// proven on `single_engine`, built lazily and kept alive across calls — the
 /// collapse schedule invokes this twice (representatives, then the members
 /// of aborted classes) and engine construction is design-sized (SCOAP,
 /// baseline propagation).
@@ -307,6 +475,8 @@ fn prove_worklist<'a>(
     faults: &[StuckAt],
     worklist: &[usize],
     config: &ProofConfig,
+    budget: &Budget,
+    checkpoint: Option<&Checkpoint>,
     results: &[AtomicU8],
     single_engine: &mut Option<Podem<'a>>,
     single_sat: &mut Option<SatProver<'a>>,
@@ -316,16 +486,24 @@ fn prove_worklist<'a>(
     }
     let workers = config.resolve_threads(worklist.len());
     if workers <= 1 {
-        let podem = match single_engine {
-            Some(podem) => podem,
-            None => single_engine.insert(
-                Podem::new(netlist, constraints, config.podem_config())
-                    .expect("levelization already validated"),
-            ),
-        };
         for &i in worklist {
-            let r = prove_one(netlist, constraints, config, podem, single_sat, faults[i]);
+            if results[i].load(Ordering::Relaxed) != 0 {
+                continue;
+            }
+            let r = prove_guarded(
+                netlist,
+                constraints,
+                config,
+                budget,
+                single_engine,
+                single_sat,
+                i,
+                faults[i],
+            );
             results[i].store(encode(r), Ordering::Relaxed);
+            if let Some(cp) = checkpoint {
+                cp.record(faults[i], r);
+            }
         }
         return;
     }
@@ -334,8 +512,7 @@ fn prove_worklist<'a>(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut podem = Podem::new(netlist, constraints, config.podem_config())
-                    .expect("levelization already validated");
+                let mut podem_slot: Option<Podem<'a>> = None;
                 let mut sat_engine: Option<SatProver<'a>> = None;
                 loop {
                     let chunk = cursor.fetch_add(1, Ordering::Relaxed);
@@ -345,15 +522,23 @@ fn prove_worklist<'a>(
                     let start = chunk * CHUNK;
                     let end = (start + CHUNK).min(worklist.len());
                     for &i in &worklist[start..end] {
-                        let r = prove_one(
+                        if results[i].load(Ordering::Relaxed) != 0 {
+                            continue;
+                        }
+                        let r = prove_guarded(
                             netlist,
                             constraints,
                             config,
-                            &mut podem,
+                            budget,
+                            &mut podem_slot,
                             &mut sat_engine,
+                            i,
                             faults[i],
                         );
                         results[i].store(encode(r), Ordering::Relaxed);
+                        if let Some(cp) = checkpoint {
+                            cp.record(faults[i], r);
+                        }
                     }
                 }
             });
@@ -404,16 +589,108 @@ pub fn prove_faults_with_engines(
     faults: &[StuckAt],
     config: &ProofConfig,
 ) -> Result<Vec<EngineOutcome>, graph::CombinationalLoop> {
+    match prove_faults_campaign(
+        netlist,
+        constraints,
+        faults,
+        config,
+        &Budget::unlimited(),
+        None,
+    ) {
+        Ok(campaign) => Ok(campaign.outcomes),
+        Err(CampaignError::Cyclic(e)) => Err(e),
+        Err(CampaignError::Checkpoint(e)) => {
+            unreachable!("no checkpoint was passed, yet one errored: {e}")
+        }
+    }
+}
+
+/// Why a proof campaign could not run to completion.
+#[derive(Clone, Debug)]
+pub enum CampaignError {
+    /// The combinational logic is cyclic; no engine can be built.
+    Cyclic(graph::CombinationalLoop),
+    /// The checkpoint file could not be opened, parsed, or written.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Cyclic(e) => write!(f, "{e}"),
+            CampaignError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> Self {
+        CampaignError::Checkpoint(e)
+    }
+}
+
+/// The result of one [`prove_faults_campaign`] run.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// One engine-tagged verdict per input fault, in input order.
+    pub outcomes: Vec<EngineOutcome>,
+    /// Faults whose verdict was replayed from the checkpoint instead of
+    /// being proven by this run.
+    pub from_checkpoint: usize,
+    /// Whether any fault came back [`AbortReason::Timeout`] — the stage
+    /// deadline, a per-fault limit, or a cancellation left work unresolved.
+    pub deadline_hit: bool,
+}
+
+/// [`prove_faults_with_engines`] with the campaign-survivability layer: a
+/// cooperative [`Budget`] (cancel token, stage deadline, per-fault limit),
+/// per-fault panic isolation, and an optional incremental
+/// [`Checkpoint`].
+///
+/// Checkpointed verdicts are pre-seeded into the result slots before
+/// scheduling and the collapse classes are computed over the full
+/// population, so a resumed campaign replays the uninterrupted schedule
+/// exactly: the merged classification is bit-identical to a single
+/// uninterrupted run under the same configuration, and only unconcluded
+/// faults are re-proven.
+///
+/// # Errors
+///
+/// [`CampaignError::Cyclic`] if the combinational logic is cyclic,
+/// [`CampaignError::Checkpoint`] if appending to the checkpoint failed.
+pub fn prove_faults_campaign(
+    netlist: &Netlist,
+    constraints: &ConstraintSet,
+    faults: &[StuckAt],
+    config: &ProofConfig,
+    budget: &Budget,
+    checkpoint: Option<&Checkpoint>,
+) -> Result<CampaignOutcome, CampaignError> {
     // Validate levelization once up front (and still surface a cyclic design
     // when the fault list is empty) so the workers can unwrap — levelize is
     // the only error source of engine construction, and validating with it
     // directly avoids building (and immediately dropping) a full engine with
     // its SCOAP computation and baseline propagation.
-    graph::levelize(netlist)?;
+    graph::levelize(netlist).map_err(CampaignError::Cyclic)?;
     if faults.is_empty() {
-        return Ok(Vec::new());
+        return Ok(CampaignOutcome {
+            outcomes: Vec::new(),
+            from_checkpoint: 0,
+            deadline_hit: false,
+        });
     }
     let results: Vec<AtomicU8> = (0..faults.len()).map(|_| AtomicU8::new(0)).collect();
+    let mut from_checkpoint = 0usize;
+    if let Some(cp) = checkpoint {
+        for (i, &fault) in faults.iter().enumerate() {
+            if let Some(r) = cp.concluded(fault) {
+                results[i].store(encode(r), Ordering::Relaxed);
+                from_checkpoint += 1;
+            }
+        }
+    }
 
     let mut single_engine: Option<Podem<'_>> = None;
     let mut single_sat: Option<SatProver<'_>> = None;
@@ -426,14 +703,13 @@ pub fn prove_faults_with_engines(
             faults,
             &worklist,
             config,
+            budget,
+            checkpoint,
             &results,
             &mut single_engine,
             &mut single_sat,
         );
-        return Ok(results
-            .into_iter()
-            .map(|c| decode(c.into_inner()))
-            .collect());
+        return finish_campaign(results, from_checkpoint, checkpoint);
     }
 
     // Collapse-schedule: group the population by structural equivalence
@@ -474,6 +750,8 @@ pub fn prove_faults_with_engines(
         faults,
         &provers,
         config,
+        budget,
+        checkpoint,
         &results,
         &mut single_engine,
         &mut single_sat,
@@ -481,7 +759,8 @@ pub fn prove_faults_with_engines(
 
     // Expansion: concluded class verdicts cover every member (with the
     // representative's engine — that proof is what covers them); members of
-    // aborted classes go into the individual second pass.
+    // aborted classes go into the individual second pass. A pre-seeded
+    // member keeps its checkpointed verdict either way.
     let mut second_pass: Vec<usize> = Vec::new();
     for i in 0..faults.len() {
         let prover = prover_of_class[class_of[i]].expect("every class has a prover");
@@ -491,7 +770,7 @@ pub fn prove_faults_with_engines(
         let representative = decode(results[prover].load(Ordering::Relaxed));
         if representative.outcome == ProofOutcome::Aborted {
             second_pass.push(i);
-        } else {
+        } else if results[i].load(Ordering::Relaxed) == 0 {
             results[i].store(encode(representative), Ordering::Relaxed);
         }
     }
@@ -501,15 +780,38 @@ pub fn prove_faults_with_engines(
         faults,
         &second_pass,
         config,
+        budget,
+        checkpoint,
         &results,
         &mut single_engine,
         &mut single_sat,
     );
 
-    Ok(results
+    finish_campaign(results, from_checkpoint, checkpoint)
+}
+
+/// Decodes the filled result slots, surfaces any deferred checkpoint write
+/// error, and derives the deadline-hit flag.
+fn finish_campaign(
+    results: Vec<AtomicU8>,
+    from_checkpoint: usize,
+    checkpoint: Option<&Checkpoint>,
+) -> Result<CampaignOutcome, CampaignError> {
+    if let Some(cp) = checkpoint {
+        cp.sync()?;
+    }
+    let outcomes: Vec<EngineOutcome> = results
         .into_iter()
         .map(|c| decode(c.into_inner()))
-        .collect())
+        .collect();
+    let deadline_hit = outcomes
+        .iter()
+        .any(|o| o.reason == Some(AbortReason::Timeout));
+    Ok(CampaignOutcome {
+        outcomes,
+        from_checkpoint,
+        deadline_hit,
+    })
 }
 
 #[cfg(test)]
@@ -634,12 +936,18 @@ mod tests {
     #[test]
     fn decode_roundtrips_every_real_outcome() {
         for engine in [ProofEngine::Podem, ProofEngine::Sat] {
-            for outcome in [
-                ProofOutcome::TestExists,
-                ProofOutcome::ProvenUntestable,
-                ProofOutcome::Aborted,
+            for outcome in [ProofOutcome::TestExists, ProofOutcome::ProvenUntestable] {
+                let tagged = EngineOutcome::concluded(outcome, engine);
+                assert_eq!(decode(encode(tagged)), tagged);
+            }
+            for reason in [
+                AbortReason::Backtracks,
+                AbortReason::Conflicts,
+                AbortReason::Timeout,
+                AbortReason::Panicked,
+                AbortReason::Unsupported,
             ] {
-                let tagged = EngineOutcome { outcome, engine };
+                let tagged = EngineOutcome::aborted(engine, reason);
                 assert_eq!(decode(encode(tagged)), tagged);
             }
         }
@@ -914,10 +1222,7 @@ mod tests {
         .unwrap();
         assert_eq!(
             starved[0],
-            EngineOutcome {
-                outcome: ProofOutcome::Aborted,
-                engine: ProofEngine::Sat,
-            }
+            EngineOutcome::aborted(ProofEngine::Sat, AbortReason::Conflicts)
         );
         let funded = prove_faults_with_engines(
             &n,
@@ -933,10 +1238,7 @@ mod tests {
         .unwrap();
         assert_eq!(
             funded[0],
-            EngineOutcome {
-                outcome: ProofOutcome::ProvenUntestable,
-                engine: ProofEngine::Sat,
-            }
+            EngineOutcome::concluded(ProofOutcome::ProvenUntestable, ProofEngine::Sat)
         );
         // When PODEM concludes on its own, SAT is never consulted.
         let podem_first = prove_faults_with_engines(
@@ -953,10 +1255,7 @@ mod tests {
         .unwrap();
         assert_eq!(
             podem_first[0],
-            EngineOutcome {
-                outcome: ProofOutcome::ProvenUntestable,
-                engine: ProofEngine::Podem,
-            }
+            EngineOutcome::concluded(ProofOutcome::ProvenUntestable, ProofEngine::Podem)
         );
     }
 

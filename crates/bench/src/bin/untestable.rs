@@ -18,7 +18,9 @@ use netlist::frontend::{load_netlist, Format};
 use netlist::stats::stats;
 use online_untestable::design::{ConstraintSpec, NetlistDesign};
 use online_untestable::flow::{FlowConfig, IdentificationFlow, ProofStageConfig};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage: untestable <circuit> [options]
 
@@ -45,7 +47,18 @@ options:
   --no-sat              keep PODEM aborts instead of escalating them to the
                         SAT proof backend
   --sat-conflicts <n>   conflict budget per SAT escalation (default 20000)
-  -h, --help            this message";
+  --stage-timeout <s>   wall-clock budget (seconds, fractional ok) for the
+                        whole proof stage; faults not concluded by then come
+                        back as timeout aborts and the exit status is 2
+  --fault-timeout <s>   per-fault wall-clock limit (seconds, fractional ok)
+  --checkpoint <file>   append concluded proof verdicts to this file and, on
+                        a later run, re-prove only the faults it is missing;
+                        the file is keyed to the circuit + constraints and
+                        refused on mismatch
+  -h, --help            this message
+
+exit status: 0 on success, 2 when a proof-stage deadline expired leaving
+unresolved faults, 1 on any error";
 
 struct Options {
     circuit: String,
@@ -58,6 +71,15 @@ struct Options {
     proof: bool,
     sat: bool,
     sat_conflicts: u64,
+    stage_timeout: Option<Duration>,
+    fault_timeout: Option<Duration>,
+    checkpoint: Option<PathBuf>,
+}
+
+fn parse_seconds(flag: &str, text: &str) -> Result<Duration, String> {
+    let seconds: f64 = text.parse().map_err(|e| format!("{flag}: {e}"))?;
+    Duration::try_from_secs_f64(seconds)
+        .map_err(|_| format!("{flag}: expected a non-negative number of seconds, got `{text}`"))
 }
 
 /// `Ok(None)` means `-h`/`--help` was requested: print usage to stdout and
@@ -74,6 +96,9 @@ fn parse_options() -> Result<Option<Options>, String> {
         proof: true,
         sat: true,
         sat_conflicts: 20_000,
+        stage_timeout: None,
+        fault_timeout: None,
+        checkpoint: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -121,6 +146,19 @@ fn parse_options() -> Result<Option<Options>, String> {
                     .parse()
                     .map_err(|e| format!("--sat-conflicts: {e}"))?
             }
+            "--stage-timeout" => {
+                options.stage_timeout = Some(parse_seconds(
+                    "--stage-timeout",
+                    &value("--stage-timeout")?,
+                )?)
+            }
+            "--fault-timeout" => {
+                options.fault_timeout = Some(parse_seconds(
+                    "--fault-timeout",
+                    &value("--fault-timeout")?,
+                )?)
+            }
+            "--checkpoint" => options.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n\n{USAGE}"))
             }
@@ -134,7 +172,9 @@ fn parse_options() -> Result<Option<Options>, String> {
     Ok(Some(options))
 }
 
-fn run(options: &Options) -> Result<(), String> {
+/// `Ok(true)` means the run completed but a proof-stage deadline expired
+/// with unresolved faults — the caller maps this to exit status 2.
+fn run(options: &Options) -> Result<bool, String> {
     let format = options
         .format
         .or_else(|| Format::from_path(options.circuit.as_ref()))
@@ -187,6 +227,9 @@ fn run(options: &Options) -> Result<(), String> {
             sample_seed: options.seed,
             use_sat: options.sat,
             sat_conflict_limit: options.sat_conflicts,
+            stage_timeout: options.stage_timeout,
+            fault_timeout: options.fault_timeout,
+            checkpoint: options.checkpoint.clone(),
             ..ProofStageConfig::default()
         },
         ..FlowConfig::full_pipeline()
@@ -215,8 +258,28 @@ fn run(options: &Options) -> Result<(), String> {
         println!("  proof engines         : {breakdown}");
     }
     println!("  still unclassified    : {}", report.counts.undetected);
-    Ok(())
+
+    let deadline_hit = report
+        .engine_breakdown
+        .as_ref()
+        .is_some_and(|b| b.deadline_hit());
+    if deadline_hit {
+        println!();
+        println!(
+            "proof-stage deadline expired: {} fault(s) timed out; \
+             re-run with --checkpoint to resume where this run stopped",
+            report
+                .engine_breakdown
+                .as_ref()
+                .map_or(0, |b| b.aborted_timeout)
+        );
+    }
+    Ok(deadline_hit)
 }
+
+/// Exit status when a proof-stage deadline expired with unresolved faults:
+/// the campaign survived, but its verdicts are incomplete.
+const EXIT_DEADLINE: u8 = 2;
 
 fn main() -> ExitCode {
     let options = match parse_options() {
@@ -231,7 +294,8 @@ fn main() -> ExitCode {
         }
     };
     match run(&options) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(EXIT_DEADLINE),
         Err(message) => {
             eprintln!("untestable: {message}");
             ExitCode::FAILURE

@@ -1,0 +1,187 @@
+//! End-to-end tests of the `untestable` driver binary: clean one-line
+//! diagnostics (exit 1) on bad inputs, the distinct exit status (2) when a
+//! proof-stage deadline leaves faults unresolved, and the
+//! checkpoint/resume flags.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn circuit(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../circuits")
+        .join(name)
+}
+
+fn untestable(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_untestable"))
+        .args(args)
+        .output()
+        .expect("driver binary runs")
+}
+
+/// A self-cleaning per-test temp directory.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("untestable-cli-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn stderr_line(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).trim().to_string()
+}
+
+/// The diagnostic contract: exactly one stderr line, prefixed with the tool
+/// name, and no panic backtrace.
+fn assert_one_line_diagnostic(output: &Output) {
+    let stderr = stderr_line(output);
+    assert_eq!(
+        stderr.lines().count(),
+        1,
+        "multi-line diagnostic:\n{stderr}"
+    );
+    assert!(
+        stderr.starts_with("untestable: "),
+        "missing tool prefix: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "diagnostic leaks a backtrace: {stderr}"
+    );
+}
+
+#[test]
+fn missing_file_fails_with_a_one_line_diagnostic() {
+    let output = untestable(&["/nonexistent/design.bench"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert_one_line_diagnostic(&output);
+    assert!(stderr_line(&output).contains("cannot read"));
+}
+
+#[test]
+fn parse_error_is_positioned_and_exits_one() {
+    let dir = TempDir::new("parse-error");
+    let bad = dir.file("broken.bench");
+    std::fs::write(&bad, "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n").unwrap();
+    let output = untestable(&[bad.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(1));
+    assert_one_line_diagnostic(&output);
+    let stderr = stderr_line(&output);
+    assert!(
+        stderr.contains("line 3"),
+        "diagnostic lost the source position: {stderr}"
+    );
+}
+
+#[test]
+fn expired_stage_deadline_exits_two() {
+    let output = untestable(&[
+        circuit("s27.bench").to_str().unwrap(),
+        "--stage-timeout",
+        "0",
+        "--threads",
+        "1",
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("proof-stage deadline expired"),
+        "no deadline notice:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("timeout"),
+        "no abort attribution:\n{stdout}"
+    );
+}
+
+#[test]
+fn checkpoint_roundtrip_resumes_and_mismatch_is_refused() {
+    let dir = TempDir::new("checkpoint");
+    let ckpt = dir.file("s27.ckpt");
+    let s27 = circuit("s27.bench");
+    let args = [
+        s27.to_str().unwrap(),
+        "--threads",
+        "1",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ];
+
+    // Wall-clock timings differ run to run; everything else must not.
+    fn strip_timings(stdout: &[u8]) -> String {
+        String::from_utf8_lossy(stdout)
+            .lines()
+            .filter(|line| !line.ends_with(" ms"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    let first = untestable(&args);
+    assert_eq!(first.status.code(), Some(0), "{}", stderr_line(&first));
+    assert!(ckpt.is_file(), "checkpoint file was not created");
+
+    // Re-running against the populated checkpoint reproduces the report.
+    let second = untestable(&args);
+    assert_eq!(second.status.code(), Some(0), "{}", stderr_line(&second));
+    assert_eq!(
+        strip_timings(&first.stdout),
+        strip_timings(&second.stdout),
+        "resumed report diverged"
+    );
+
+    // A different proof configuration is a different campaign: the stale
+    // checkpoint must be refused, not silently merged.
+    let mismatched = untestable(&[
+        s27.to_str().unwrap(),
+        "--threads",
+        "1",
+        "--backtrack",
+        "64",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(mismatched.status.code(), Some(1));
+    assert_one_line_diagnostic(&mismatched);
+    assert!(
+        stderr_line(&mismatched).contains("fingerprint mismatch"),
+        "wrong refusal diagnostic: {}",
+        stderr_line(&mismatched)
+    );
+}
+
+#[test]
+fn bad_timeout_values_are_rejected_cleanly() {
+    for value in ["-1", "forever"] {
+        let output = untestable(&[
+            circuit("s27.bench").to_str().unwrap(),
+            "--stage-timeout",
+            value,
+        ]);
+        assert_eq!(output.status.code(), Some(1), "value {value}");
+        let stderr = stderr_line(&output);
+        assert!(
+            stderr.contains("--stage-timeout"),
+            "diagnostic does not name the flag: {stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
+    }
+}

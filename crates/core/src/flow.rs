@@ -24,13 +24,15 @@ use crate::rules::{
 };
 use crate::toggle::analyze_toggles;
 use atpg::analysis::{AnalysisConfig, StructuralAnalysis};
-use atpg::proof::{prove_faults_with_engines, EngineBreakdown, ProofConfig};
-use atpg::{ConstraintSet, FaultSim, InputVector, ProofOutcome};
+use atpg::checkpoint::{campaign_fingerprint, Checkpoint};
+use atpg::proof::{prove_faults_campaign, CampaignError, EngineBreakdown, ProofConfig};
+use atpg::{Budget, CancelToken, ConstraintSet, FaultSim, InputVector, ProofOutcome};
 use dft::trace::{find_scan_in_ports, trace_scan_chains};
 use faultmodel::{FaultClass, FaultList, StuckAt, UntestableSource};
 use netlist::NetId;
 use std::fmt;
-use std::time::Instant;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// How the flow discovers the mission-constant debug/test control inputs.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -83,6 +85,22 @@ pub struct ProofStageConfig {
     pub use_sat: bool,
     /// Conflict budget per SAT escalation; exhausted solves stay aborted.
     pub sat_conflict_limit: u64,
+    /// Wall-clock budget for the whole proof stage; faults not concluded by
+    /// then come back as timeout aborts (the campaign survives, the report
+    /// records the deadline hits). `None` — the default — is unbounded.
+    pub stage_timeout: Option<Duration>,
+    /// Per-fault wall-clock limit, additionally capped by the stage
+    /// deadline.
+    pub fault_timeout: Option<Duration>,
+    /// Checkpoint file for the proof stage: concluded verdicts are appended
+    /// incrementally and a later run resumes by re-proving only the faults
+    /// the interrupted run never concluded. The file is keyed by a
+    /// netlist+constraints+config fingerprint and refused on mismatch.
+    pub checkpoint: Option<PathBuf>,
+    /// Cooperative cancel token shared with the caller: cancelling it stops
+    /// the proof stage at the next engine poll point (the in-flight faults
+    /// come back as timeout aborts).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ProofStageConfig {
@@ -98,6 +116,10 @@ impl Default for ProofStageConfig {
             use_x_path: true,
             use_sat: true,
             sat_conflict_limit: 20_000,
+            stage_timeout: None,
+            fault_timeout: None,
+            checkpoint: None,
+            cancel: None,
         }
     }
 }
@@ -113,7 +135,22 @@ impl ProofStageConfig {
             use_x_path: self.use_x_path,
             use_sat: self.use_sat,
             sat_conflict_limit: self.sat_conflict_limit,
+            failure_plan: None,
         }
+    }
+
+    fn budget(&self) -> Budget {
+        let mut budget = Budget::unlimited();
+        if let Some(token) = &self.cancel {
+            budget = budget.with_cancel(token.clone());
+        }
+        if let Some(timeout) = self.stage_timeout {
+            budget = budget.with_stage_timeout(timeout);
+        }
+        if let Some(timeout) = self.fault_timeout {
+            budget = budget.with_fault_timeout(timeout);
+        }
+        budget
     }
 }
 
@@ -190,6 +227,9 @@ pub enum FlowError {
     Analysis(String),
     /// The scan chains could not be traced.
     ScanTrace(String),
+    /// The proof-stage checkpoint could not be opened, parsed, or written
+    /// (including a fingerprint mismatch with the current campaign).
+    Checkpoint(String),
 }
 
 impl fmt::Display for FlowError {
@@ -197,6 +237,7 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Analysis(msg) => write!(f, "structural analysis failed: {msg}"),
             FlowError::ScanTrace(msg) => write!(f, "scan tracing failed: {msg}"),
+            FlowError::Checkpoint(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -394,6 +435,11 @@ impl IdentificationFlow {
                     sat_test_exists: b.sat_test_exists,
                     sat_proven: b.sat_proven,
                     sat_aborted: b.sat_aborted,
+                    aborted_backtracks: b.aborted_backtracks,
+                    aborted_conflicts: b.aborted_conflicts,
+                    aborted_timeout: b.aborted_timeout,
+                    aborted_panicked: b.aborted_panicked,
+                    aborted_unsupported: b.aborted_unsupported,
                 }),
         };
         Ok((report, ctx.master))
@@ -524,6 +570,11 @@ impl IdentificationFlow {
     /// are re-labelled [`UntestableSource::AtpgProof`]; faults neither engine
     /// concludes stay unclassified. The per-engine outcome counts land in the
     /// report's `engine_breakdown`.
+    ///
+    /// The stage honours the survivability knobs in [`ProofStageConfig`]:
+    /// wall-clock deadlines and cancellation turn unconcluded faults into
+    /// timeout aborts, and a configured checkpoint file lets an interrupted
+    /// campaign resume by re-proving only the faults it never concluded.
     fn stage_atpg_proof(&self, ctx: &mut StageContext<'_>) -> Result<usize, FlowError> {
         let tied = self.control_inputs_cached(ctx)?;
         let constraints = self.mission_constraints_from(ctx.design, &ctx.specs, &tied);
@@ -535,16 +586,33 @@ impl IdentificationFlow {
             survivors.truncate(cap);
         }
         let faults: Vec<StuckAt> = survivors.iter().map(|&(_, f)| f).collect();
-        let outcomes = prove_faults_with_engines(
+        let engine_config = self.config.proof.engine_config();
+        let checkpoint = match &self.config.proof.checkpoint {
+            Some(path) => {
+                let fingerprint =
+                    campaign_fingerprint(ctx.design.netlist(), &constraints, &engine_config);
+                Some(
+                    Checkpoint::create_or_resume(path, fingerprint)
+                        .map_err(|e| FlowError::Checkpoint(e.to_string()))?,
+                )
+            }
+            None => None,
+        };
+        let campaign = prove_faults_campaign(
             ctx.design.netlist(),
             &constraints,
             &faults,
-            &self.config.proof.engine_config(),
+            &engine_config,
+            &self.config.proof.budget(),
+            checkpoint.as_ref(),
         )
-        .map_err(|e| FlowError::Analysis(e.to_string()))?;
-        ctx.engine_breakdown = Some(EngineBreakdown::from_outcomes(&outcomes));
+        .map_err(|e| match e {
+            CampaignError::Cyclic(loop_err) => FlowError::Analysis(loop_err.to_string()),
+            CampaignError::Checkpoint(ckpt_err) => FlowError::Checkpoint(ckpt_err.to_string()),
+        })?;
+        ctx.engine_breakdown = Some(EngineBreakdown::from_outcomes(&campaign.outcomes));
         let mut newly = 0usize;
-        for (&(index, _), outcome) in survivors.iter().zip(&outcomes) {
+        for (&(index, _), outcome) in survivors.iter().zip(&campaign.outcomes) {
             if outcome.outcome == ProofOutcome::ProvenUntestable {
                 ctx.master.classify_at(
                     index,

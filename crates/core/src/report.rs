@@ -41,6 +41,21 @@ pub struct ProofEngineBreakdown {
     pub sat_proven: usize,
     /// Faults the SAT escalation itself gave up on (conflict limit).
     pub sat_aborted: usize,
+    /// Aborts caused by the PODEM backtrack limit.
+    #[serde(default)]
+    pub aborted_backtracks: usize,
+    /// Aborts caused by the SAT conflict limit.
+    #[serde(default)]
+    pub aborted_conflicts: usize,
+    /// Aborts caused by a wall-clock deadline or cancellation.
+    #[serde(default)]
+    pub aborted_timeout: usize,
+    /// Faults whose proof attempt panicked (isolated, campaign survived).
+    #[serde(default)]
+    pub aborted_panicked: usize,
+    /// Faults an engine declined (encoding limits, failed model replay).
+    #[serde(default)]
+    pub aborted_unsupported: usize,
 }
 
 impl ProofEngineBreakdown {
@@ -58,6 +73,21 @@ impl ProofEngineBreakdown {
     pub fn test_exists_total(&self) -> usize {
         self.podem_test_exists + self.sat_test_exists
     }
+
+    /// Aborts attributed to a wall-clock deadline or cancellation — the
+    /// "stage deadline hit" signal callers use to pick an exit status.
+    pub fn deadline_hit(&self) -> bool {
+        self.aborted_timeout > 0
+    }
+
+    fn has_abort_reasons(&self) -> bool {
+        self.aborted_backtracks
+            + self.aborted_conflicts
+            + self.aborted_timeout
+            + self.aborted_panicked
+            + self.aborted_unsupported
+            > 0
+    }
 }
 
 impl fmt::Display for ProofEngineBreakdown {
@@ -71,7 +101,19 @@ impl fmt::Display for ProofEngineBreakdown {
             self.sat_proven,
             self.sat_test_exists,
             self.sat_aborted
-        )
+        )?;
+        if self.has_abort_reasons() {
+            write!(
+                f,
+                "; aborts: {} backtracks / {} conflicts / {} timeout / {} panicked / {} unsupported",
+                self.aborted_backtracks,
+                self.aborted_conflicts,
+                self.aborted_timeout,
+                self.aborted_panicked,
+                self.aborted_unsupported
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -306,10 +348,13 @@ mod tests {
             sat_test_exists: 7,
             sat_proven: 44,
             sat_aborted: 1,
+            ..ProofEngineBreakdown::default()
         };
         assert_eq!(breakdown.proven_total(), 164);
         assert_eq!(breakdown.aborted_total(), 4);
         assert_eq!(breakdown.test_exists_total(), 857);
+        assert!(!breakdown.deadline_hit());
+        // Without abort attribution the row keeps its historical shape.
         assert_eq!(
             breakdown.to_string(),
             "PODEM 120 proven / 850 testable / 3 aborted; \
@@ -324,6 +369,26 @@ mod tests {
         assert!(
             text.contains("proof engines: PODEM 120 proven"),
             "breakdown row missing:\n{text}"
+        );
+    }
+
+    #[test]
+    fn engine_breakdown_row_attributes_abort_reasons() {
+        let breakdown = ProofEngineBreakdown {
+            podem_aborted: 3,
+            sat_aborted: 1,
+            aborted_backtracks: 1,
+            aborted_conflicts: 1,
+            aborted_timeout: 1,
+            aborted_panicked: 1,
+            ..ProofEngineBreakdown::default()
+        };
+        assert!(breakdown.deadline_hit());
+        assert_eq!(
+            breakdown.to_string(),
+            "PODEM 0 proven / 0 testable / 3 aborted; \
+             SAT 0 proven / 0 testable / 1 aborted; \
+             aborts: 1 backtracks / 1 conflicts / 1 timeout / 1 panicked / 0 unsupported"
         );
     }
 }

@@ -1,0 +1,183 @@
+//! Frontend hardening: truncated and byte-mutated netlist sources, in every
+//! supported format, fed through [`parse_netlist`] — possibly under the
+//! *wrong* format. Every outcome must be a parsed netlist or a positioned
+//! [`ParseError`]; the parsers must never panic.
+//!
+//! The mutation engine works on bytes (so multi-byte UTF-8 sequences get
+//! torn apart too) and repairs the result with `from_utf8_lossy`, which is
+//! exactly what a driver reading a corrupted file would hand the parser.
+
+use netlist::frontend::{parse_netlist, Format, ParseError};
+use netlist::Netlist;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A well-formed `.bench` source (sequential, with comments and DFFs).
+const BENCH_SEED: &str = "\
+# s27-style sequential sample
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G5 = DFF(G10)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G5)
+G10 = NOR(G14, G11)
+G11 = NOR(G1, G8)
+";
+
+/// A well-formed structural Verilog source (escaped identifier included).
+const VERILOG_SEED: &str = "\
+module sample (a, b, ck, \\1odd$name , y);
+  input a, b, ck;
+  input \\1odd$name ;
+  output y;
+  wire x, q;
+  XOR2 u0 (.A0(a), .A1(b), .Y(x));
+  DFF r0 (.D(x), .CK(ck), .Q(q));
+  AND2 u1 (.A0(q), .A1(\\1odd$name ), .Y(y));
+endmodule
+";
+
+/// A well-formed EDIF 2.0.0 subset source.
+const EDIF_SEED: &str = "\
+(edif sample_design
+  (edifVersion 2 0 0)
+  (library work
+    (cell AND2 (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port A0 (direction INPUT))
+                   (port A1 (direction INPUT))
+                   (port Y (direction OUTPUT)))))
+    (cell sample (cellType GENERIC)
+      (view netlist (viewType NETLIST)
+        (interface (port a (direction INPUT))
+                   (port b (direction INPUT))
+                   (port y (direction OUTPUT)))
+        (contents
+          (instance u0 (viewRef netlist (cellRef AND2 (libraryRef work))))
+          (net n_a (joined (portRef a) (portRef A0 (instanceRef u0))))
+          (net n_b (joined (portRef b) (portRef A1 (instanceRef u0))))
+          (net n_y (joined (portRef Y (instanceRef u0)) (portRef y)))))))
+  (design sample (cellRef sample (libraryRef work))))
+";
+
+const SEEDS: [&str; 3] = [BENCH_SEED, VERILOG_SEED, EDIF_SEED];
+
+/// Parses under a panic guard. `Err(_)` from the guard is the property
+/// violation we are hunting: a parser panic instead of a `ParseError`.
+fn parse_guarded(text: &str, format: Format) -> Result<Result<Netlist, ParseError>, String> {
+    catch_unwind(AssertUnwindSafe(|| parse_netlist(text, format))).map_err(|panic| {
+        let message = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        format!("parser panicked under {format}: {message}")
+    })
+}
+
+/// Checks the hardening contract on one input: no panic, and any error is
+/// positioned (1-based line/column) with a non-empty message.
+fn assert_contract(text: &str, format: Format) -> Result<(), TestCaseError> {
+    match parse_guarded(text, format) {
+        Ok(Ok(_)) => Ok(()),
+        Ok(Err(e)) => {
+            prop_assert!(
+                e.line >= 1 && e.column >= 1,
+                "unpositioned error under {format}: {e:?}"
+            );
+            prop_assert!(
+                !e.message.is_empty(),
+                "empty error message under {format}: {e:?}"
+            );
+            Ok(())
+        }
+        Err(panic) => Err(TestCaseError::fail(format!("{panic}\ninput:\n{text}"))),
+    }
+}
+
+/// One byte-level mutation step, decoded from three sampled integers.
+fn mutate(bytes: &mut Vec<u8>, op: u8, position: usize, payload: u8) {
+    if bytes.is_empty() {
+        bytes.push(payload);
+        return;
+    }
+    let at = position % bytes.len();
+    match op % 5 {
+        // Truncate: the classic torn-file shape.
+        0 => bytes.truncate(at),
+        // Overwrite one byte with arbitrary garbage.
+        1 => bytes[at] = payload,
+        // Insert one arbitrary byte.
+        2 => bytes.insert(at, payload),
+        // Delete a short run.
+        3 => {
+            let end = (at + 1 + payload as usize % 8).min(bytes.len());
+            bytes.drain(at..end);
+        }
+        // Duplicate a short run (repeated tokens, doubled lines).
+        _ => {
+            let end = (at + 1 + payload as usize % 16).min(bytes.len());
+            let run: Vec<u8> = bytes[at..end].to_vec();
+            bytes.splice(at..at, run);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Randomly mutated sources parse or fail cleanly under every frontend
+    /// (including deliberate format mismatches). Each sampled word packs one
+    /// mutation step: op in the low byte, position in the middle, payload on
+    /// top (the stub strategy set has no tuple support).
+    #[test]
+    fn mutated_sources_never_panic_any_frontend(
+        seed in 0usize..3,
+        steps in prop::collection::vec(any::<u64>(), 1..8),
+        format_index in 0usize..3,
+    ) {
+        let mut bytes = SEEDS[seed].as_bytes().to_vec();
+        for &word in &steps {
+            let op = (word & 0xff) as u8;
+            let position = ((word >> 8) & 0xffff) as usize;
+            let payload = ((word >> 24) & 0xff) as u8;
+            mutate(&mut bytes, op, position, payload);
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        assert_contract(&text, Format::ALL[format_index])?;
+    }
+}
+
+/// Every byte-boundary truncation of every seed, parsed under every
+/// frontend: the exhaustive version of the torn-file case.
+#[test]
+fn every_truncation_of_every_seed_parses_or_errors_cleanly() {
+    for seed in SEEDS {
+        for cut in 0..=seed.len() {
+            if !seed.is_char_boundary(cut) {
+                continue;
+            }
+            for format in Format::ALL {
+                if let Err(panic) = assert_contract(&seed[..cut], format) {
+                    panic!("truncation at byte {cut}: {panic}");
+                }
+            }
+        }
+    }
+}
+
+/// The seeds themselves are valid under their native format — otherwise the
+/// mutation campaign starts from garbage and exercises nothing deep.
+#[test]
+fn seeds_parse_under_their_native_format() {
+    for (seed, format) in [
+        (BENCH_SEED, Format::Bench),
+        (VERILOG_SEED, Format::Verilog),
+        (EDIF_SEED, Format::Edif),
+    ] {
+        parse_netlist(seed, format)
+            .unwrap_or_else(|e| panic!("seed for {format} does not parse: {e}"));
+    }
+}

@@ -274,6 +274,15 @@ pub struct Solver {
     /// Conflicts over the solver's lifetime (restart bookkeeping and
     /// diagnostics).
     conflicts: u64,
+    /// Cooperative interrupt flag: when it reads `true` the current solve
+    /// stops with [`SolveResult::Unknown`] at its next conflict.
+    interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Wall-clock deadline for each solve call, polled alongside the
+    /// interrupt flag.
+    deadline: Option<std::time::Instant>,
+    /// Whether the most recent `Unknown` came from the interrupt flag or
+    /// the deadline rather than the conflict budget.
+    interrupted: bool,
 }
 
 impl Default for Solver {
@@ -303,6 +312,9 @@ impl Solver {
             ok: true,
             conflict_limit: None,
             conflicts: 0,
+            interrupt: None,
+            deadline: None,
+            interrupted: false,
         }
     }
 
@@ -326,6 +338,40 @@ impl Solver {
     /// to completion.
     pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
         self.conflict_limit = limit;
+    }
+
+    /// Installs (or clears) a cooperative interrupt flag: a solve polls it
+    /// at every conflict and gives up with [`SolveResult::Unknown`] once it
+    /// reads `true`. The solver state stays consistent — a later solve with
+    /// the flag cleared continues normally.
+    pub fn set_interrupt(&mut self, flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>) {
+        self.interrupt = flag;
+    }
+
+    /// Sets (or clears) a wall-clock deadline polled alongside the
+    /// interrupt flag; a solve past the deadline gives up with
+    /// [`SolveResult::Unknown`].
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Whether the most recent solve stopped because of the interrupt flag
+    /// or the deadline (as opposed to exhausting the conflict budget).
+    pub fn was_interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    /// The interrupt flag reads `true` or the deadline has passed.
+    fn stop_requested(&self) -> bool {
+        if self
+            .interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(std::sync::atomic::Ordering::Relaxed))
+        {
+            return true;
+        }
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 
     /// Creates a fresh variable.
@@ -612,6 +658,7 @@ impl Solver {
         let mut restarts = 0u64;
         let mut restart_budget = RESTART_BASE * luby(1);
         let mut since_restart = 0u64;
+        self.interrupted = false;
 
         let result = loop {
             if let Some(confl) = self.propagate() {
@@ -623,6 +670,10 @@ impl Solver {
                     break SolveResult::Unsat;
                 }
                 if budget.is_some_and(|limit| spent > limit) {
+                    break SolveResult::Unknown;
+                }
+                if self.stop_requested() {
+                    self.interrupted = true;
                     break SolveResult::Unknown;
                 }
                 let (learnt, backjump) = self.analyze(confl);
@@ -641,6 +692,13 @@ impl Solver {
                 since_restart = 0;
                 restart_budget = RESTART_BASE * luby(restarts + 1);
                 self.cancel_until(0);
+                // The restart boundary is the cheapest place to notice a
+                // cancellation that arrives during a long conflict-free
+                // stretch (the per-conflict poll covers the hot path).
+                if self.stop_requested() {
+                    self.interrupted = true;
+                    break SolveResult::Unknown;
+                }
                 continue;
             }
             // Place the next assumption, if any remain unplaced.
