@@ -226,6 +226,9 @@ pub struct Checkpoint {
     path: PathBuf,
     fingerprint: u64,
     entries: HashMap<FaultKey, EngineOutcome>,
+    /// The torn trailing record dropped at load time, if any (1-based line
+    /// number and the raw line) — the crash artefact of the interrupted run.
+    torn_tail: Option<(usize, String)>,
     state: Mutex<WriterState>,
 }
 
@@ -265,10 +268,57 @@ impl Checkpoint {
             Err(e) => return Err(io(e)),
         };
         let mut entries = HashMap::new();
+        let mut torn_tail = None;
         let mut fresh = true;
+        let mut needs_newline = false;
         if let Some(text) = existing.filter(|t| !t.trim().is_empty()) {
             fresh = false;
-            entries = parse_checkpoint(&text, fingerprint)?;
+            let parsed = parse_checkpoint(&text, fingerprint)?;
+            entries = parsed.entries;
+            if let Some((line, start, tail)) = parsed.torn_tail {
+                // Cut the torn record off before reopening for append: left
+                // in place, the next append would concatenate onto it and
+                // turn the tolerated crash artefact into interior corruption
+                // that refuses every later resume.
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .and_then(|file| file.set_len(start as u64))
+                    .map_err(io)?;
+                torn_tail = Some((line, tail));
+            } else {
+                // A crash can also tear *exactly* the final newline off an
+                // otherwise complete record; appending straight after it
+                // would concatenate two records into one corrupt line.
+                needs_newline = !text.ends_with('\n');
+            }
+        }
+        if fresh {
+            // Write the header through a sibling temp file and publish it
+            // with an atomic rename: a crash during creation leaves either no
+            // file or a complete two-line header, never a half-written header
+            // that a later resume would refuse.
+            let mut tmp_name = path.as_os_str().to_os_string();
+            tmp_name.push(format!(".tmp{}", std::process::id()));
+            let tmp = PathBuf::from(tmp_name);
+            let header = {
+                let mut file = File::create(&tmp).map_err(io)?;
+                let attempt = writeln!(file, "{HEADER}")
+                    .and_then(|()| writeln!(file, "fingerprint {fingerprint:016x}"))
+                    .and_then(|()| file.sync_all());
+                attempt.and_then(|()| std::fs::rename(&tmp, &path))
+            };
+            if let Err(e) = header {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(io(e));
+            }
+        }
+        if let Some((line, text)) = &torn_tail {
+            eprintln!(
+                "warning: checkpoint {}: dropped torn trailing record at line {line} \
+                 ({text:?}); its fault will be re-proven",
+                path.display()
+            );
         }
         let mut writer = BufWriter::new(
             OpenOptions::new()
@@ -277,15 +327,17 @@ impl Checkpoint {
                 .open(&path)
                 .map_err(io)?,
         );
-        if fresh {
-            writeln!(writer, "{HEADER}").map_err(io)?;
-            writeln!(writer, "fingerprint {fingerprint:016x}").map_err(io)?;
-            writer.flush().map_err(io)?;
+        if needs_newline {
+            writer
+                .write_all(b"\n")
+                .and_then(|()| writer.flush())
+                .map_err(io)?;
         }
         Ok(Checkpoint {
             path,
             fingerprint,
             entries,
+            torn_tail,
             state: Mutex::new(WriterState {
                 writer: Some(writer),
                 error: None,
@@ -301,6 +353,14 @@ impl Checkpoint {
     /// Number of verdicts loaded from the file at open time.
     pub fn loaded(&self) -> usize {
         self.entries.len()
+    }
+
+    /// The torn trailing record dropped (and truncated off the file) at open
+    /// time, if the interrupted run crashed mid-append: the raw text of the
+    /// incomplete line. Its fault is simply re-proven; callers may surface
+    /// this as a warning.
+    pub fn torn_tail(&self) -> Option<&str> {
+        self.torn_tail.as_ref().map(|(_, text)| text.as_str())
     }
 
     /// The verdict recorded for `fault` by a previous run, if any.
@@ -427,24 +487,40 @@ fn parse_record(tokens: &[&str]) -> Result<(FaultKey, EngineOutcome), String> {
     Ok(((kind, cell, pin, value), result))
 }
 
-fn parse_checkpoint(
-    text: &str,
-    expected: u64,
-) -> Result<HashMap<FaultKey, EngineOutcome>, CheckpointError> {
-    let lines: Vec<(usize, &str)> = text
-        .lines()
-        .enumerate()
-        .map(|(i, l)| (i + 1, l.trim()))
-        .filter(|(_, l)| !l.is_empty())
-        .collect();
+/// The outcome of loading a checkpoint file: the recorded verdicts plus, when
+/// the interrupted run tore its final append, the dropped trailing record
+/// (1-based line number, byte offset of the line start, raw line text).
+struct ParsedCheckpoint {
+    entries: HashMap<FaultKey, EngineOutcome>,
+    torn_tail: Option<(usize, usize, String)>,
+}
+
+fn parse_checkpoint(text: &str, expected: u64) -> Result<ParsedCheckpoint, CheckpointError> {
+    // Keep each line's byte offset: a torn trailing record must be truncated
+    // off the file before appending resumes, or the next append would
+    // concatenate onto it and turn the crash artefact into interior
+    // corruption for every later resume.
+    let mut offset = 0usize;
+    let mut lines: Vec<(usize, usize, &str)> = Vec::new();
+    for (i, raw) in text.split_inclusive('\n').enumerate() {
+        let trimmed = raw.trim();
+        if !trimmed.is_empty() {
+            lines.push((i + 1, offset, trimmed));
+        }
+        offset += raw.len();
+    }
     let format = |line: usize, message: String| CheckpointError::Format { line, message };
-    let Some(&(line, header)) = lines.first() else {
-        return Ok(HashMap::new());
+    let empty = ParsedCheckpoint {
+        entries: HashMap::new(),
+        torn_tail: None,
+    };
+    let Some(&(line, _, header)) = lines.first() else {
+        return Ok(empty);
     };
     if header != HEADER {
         return Err(format(line, format!("expected header {HEADER:?}")));
     }
-    let Some(&(line, fp_line)) = lines.get(1) else {
+    let Some(&(line, _, fp_line)) = lines.get(1) else {
         return Err(format(2, "missing fingerprint line".to_string()));
     };
     let found = fp_line
@@ -455,8 +531,9 @@ fn parse_checkpoint(
         return Err(CheckpointError::FingerprintMismatch { expected, found });
     }
     let mut entries = HashMap::new();
+    let mut torn_tail = None;
     let last = lines.len() - 1;
-    for (position, &(line, text)) in lines.iter().enumerate().skip(2) {
+    for (position, &(line, start, text)) in lines.iter().enumerate().skip(2) {
         let tokens: Vec<&str> = text.split_whitespace().collect();
         let parsed = if tokens.first() != Some(&"fault") {
             Err(format!("expected a fault record, found {text:?}"))
@@ -467,14 +544,15 @@ fn parse_checkpoint(
             Ok((key, result)) => {
                 entries.insert(key, result);
             }
-            // The last line may be the torn write of an interrupted run:
-            // drop it (the fault is simply re-proven). Anything earlier is
-            // real corruption.
-            Err(_) if position == last => {}
+            // Exactly one incomplete *final* line may be the torn write of an
+            // interrupted run: drop it (the fault is simply re-proven) and
+            // remember where it starts so the caller can truncate it away.
+            // Anything earlier is real corruption and refuses the file.
+            Err(_) if position == last => torn_tail = Some((line, start, text.to_string())),
             Err(message) => return Err(format(line, message)),
         }
     }
-    Ok(entries)
+    Ok(ParsedCheckpoint { entries, torn_tail })
 }
 
 #[cfg(test)]
@@ -594,6 +672,83 @@ mod tests {
         assert!(
             matches!(err, CheckpointError::Format { .. }),
             "unexpected error: {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_of_the_last_record_is_tolerated() {
+        let path = temp_path("every-byte");
+        let (_n, and) = small_design();
+        let faults = [
+            StuckAt::output(and, false),
+            StuckAt::input(and, 0, true),
+            StuckAt::input(and, 1, false),
+        ];
+        {
+            let _ = std::fs::remove_file(&path);
+            let cp = Checkpoint::create_or_resume(&path, 0x5eed).unwrap();
+            for &fault in &faults {
+                cp.record(
+                    fault,
+                    EngineOutcome::concluded(ProofOutcome::ProvenUntestable, ProofEngine::Sat),
+                );
+            }
+            cp.sync().unwrap();
+        }
+        let full = std::fs::read_to_string(&path).unwrap();
+        // Byte offset where the last record starts (the file ends with a
+        // newline, so the offset is just past the second-to-last newline).
+        let body = full.trim_end_matches('\n');
+        let last_start = body.rfind('\n').unwrap() + 1;
+        let complete_from = full.len() - 1; // record complete once only '\n' is missing
+        for cut in last_start..=full.len() {
+            std::fs::write(&path, &full.as_bytes()[..cut]).unwrap();
+            let resumed = Checkpoint::create_or_resume(&path, 0x5eed)
+                .unwrap_or_else(|e| panic!("cut at byte {cut} refused: {e}"));
+            let expect = if cut >= complete_from { 3 } else { 2 };
+            assert_eq!(resumed.loaded(), expect, "cut at byte {cut}");
+            let torn = cut > last_start && cut < complete_from;
+            assert_eq!(resumed.torn_tail().is_some(), torn, "cut at byte {cut}");
+            // The resumed file must stay appendable: a new verdict lands on
+            // its own line and the *next* resume sees everything.
+            resumed.record(
+                StuckAt::output(and, true),
+                EngineOutcome::concluded(ProofOutcome::TestExists, ProofEngine::Podem),
+            );
+            resumed.sync().unwrap();
+            drop(resumed);
+            let again = Checkpoint::create_or_resume(&path, 0x5eed)
+                .unwrap_or_else(|e| panic!("post-append resume at byte {cut} refused: {e}"));
+            assert_eq!(again.loaded(), expect + 1, "cut at byte {cut}");
+            assert_eq!(again.torn_tail(), None, "cut at byte {cut}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fresh_header_leaves_no_temp_file_behind() {
+        let path = temp_path("atomic-header");
+        let _ = std::fs::remove_file(&path);
+        drop(Checkpoint::create_or_resume(&path, 0xfeed).unwrap());
+        let dir = path.parent().unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .filter(|f| f.starts_with(&name) && f != &name)
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        // And the published header resumes cleanly.
+        assert_eq!(
+            Checkpoint::create_or_resume(&path, 0xfeed)
+                .unwrap()
+                .loaded(),
+            0
         );
         let _ = std::fs::remove_file(&path);
     }

@@ -185,3 +185,120 @@ fn bad_timeout_values_are_rejected_cleanly() {
         assert!(!stderr.contains("panicked"), "panic leaked: {stderr}");
     }
 }
+
+#[test]
+fn json_flag_prints_one_parseable_document_and_nothing_else() {
+    use online_untestable::JsonValue;
+
+    let output = untestable(&[
+        circuit("s27.bench").to_str().unwrap(),
+        "--threads",
+        "1",
+        "--json",
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr_line(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(
+        stdout.trim().lines().count(),
+        1,
+        "--json must print exactly one line:\n{stdout}"
+    );
+    let doc = JsonValue::parse(stdout.trim()).expect("stdout is one JSON document");
+    assert!(doc.get("total_faults").and_then(JsonValue::as_u64).unwrap() > 0);
+    assert!(doc.get("counts").is_some());
+    assert!(doc.get("engine_breakdown").is_some());
+    // The schema is the one the untestabled service serves: phase timings
+    // are the only run-dependent fields.
+    assert!(doc.get("phases").is_some());
+
+    // A --no-proof run still emits the document, without a breakdown.
+    let screened = untestable(&[
+        circuit("s27.bench").to_str().unwrap(),
+        "--no-proof",
+        "--json",
+    ]);
+    assert_eq!(screened.status.code(), Some(0));
+    let doc = JsonValue::parse(String::from_utf8_lossy(&screened.stdout).trim()).unwrap();
+    assert!(doc.get("engine_breakdown").is_none());
+}
+
+#[test]
+fn client_subcommands_round_trip_against_a_service() {
+    use online_untestable::JsonValue;
+    use std::net::TcpListener;
+    use std::sync::Arc;
+    use untestabled::{serve, Service, ServiceConfig};
+
+    let dir = TempDir::new("client");
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let service = Service::start(ServiceConfig {
+        state_dir: dir.file("state"),
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let serve_service = Arc::clone(&service);
+    let serve_thread = std::thread::spawn(move || serve(listener, serve_service));
+
+    // submit --wait runs the job to conclusion and prints its final status.
+    let submitted = untestable(&[
+        "submit",
+        circuit("s27.bench").to_str().unwrap(),
+        "--addr",
+        &addr,
+        "--threads",
+        "1",
+        "--wait",
+    ]);
+    assert_eq!(
+        submitted.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_line(&submitted)
+    );
+    let doc = JsonValue::parse(String::from_utf8_lossy(&submitted.stdout).trim()).unwrap();
+    assert_eq!(doc.get("state").and_then(JsonValue::as_str), Some("done"));
+    let id = doc.get("id").and_then(JsonValue::as_u64).unwrap();
+
+    // job prints the same status document.
+    let polled = untestable(&["job", &id.to_string(), "--addr", &addr]);
+    assert_eq!(polled.status.code(), Some(0));
+    let doc = JsonValue::parse(String::from_utf8_lossy(&polled.stdout).trim()).unwrap();
+    assert_eq!(doc.get("state").and_then(JsonValue::as_str), Some("done"));
+
+    // Unknown ids are a refusal (404), mapped to exit 1.
+    let missing = untestable(&["job", "9999", "--addr", &addr]);
+    assert_eq!(missing.status.code(), Some(1));
+
+    // cancel on a terminal job is an idempotent 200.
+    let cancelled = untestable(&["cancel", &id.to_string(), "--addr", &addr]);
+    assert_eq!(cancelled.status.code(), Some(0));
+
+    // shutdown drains the daemon; the serve loop exits cleanly.
+    let shutdown = untestable(&["shutdown", "--addr", &addr]);
+    assert_eq!(shutdown.status.code(), Some(0));
+    serve_thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn client_misuse_is_rejected_with_usage() {
+    let output = untestable(&["submit"]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("usage: untestable <submit|job|cancel|shutdown>"),
+        "missing client usage: {stderr}"
+    );
+    let output = untestable(&["job", "not-a-number", "--addr", "127.0.0.1:1"]);
+    assert_eq!(output.status.code(), Some(1));
+    // An unreachable daemon is a clean one-line diagnostic, not a panic.
+    let output = untestable(&["shutdown", "--addr", "127.0.0.1:1"]);
+    assert_eq!(output.status.code(), Some(1));
+    assert_one_line_diagnostic(&output);
+    assert!(
+        stderr_line(&output).contains("cannot reach"),
+        "{}",
+        stderr_line(&output)
+    );
+}

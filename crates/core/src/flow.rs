@@ -26,7 +26,7 @@ use crate::toggle::analyze_toggles;
 use atpg::analysis::{AnalysisConfig, StructuralAnalysis};
 use atpg::checkpoint::{campaign_fingerprint, Checkpoint};
 use atpg::proof::{prove_faults_campaign, CampaignError, EngineBreakdown, ProofConfig};
-use atpg::{Budget, CancelToken, ConstraintSet, FaultSim, InputVector, ProofOutcome};
+use atpg::{Budget, CancelToken, ConstraintSet, FailurePlan, FaultSim, InputVector, ProofOutcome};
 use dft::trace::{find_scan_in_ports, trace_scan_chains};
 use faultmodel::{FaultClass, FaultList, StuckAt, UntestableSource};
 use netlist::NetId;
@@ -101,6 +101,11 @@ pub struct ProofStageConfig {
     /// the proof stage at the next engine poll point (the in-flight faults
     /// come back as timeout aborts).
     pub cancel: Option<CancelToken>,
+    /// Test-only failure injection threaded through to the proof engines
+    /// (worker panics, stalls, bogus SAT models). `None` — the default and
+    /// the only production value — injects nothing; chaos suites use it to
+    /// prove the supervision layers recover.
+    pub failure_plan: Option<FailurePlan>,
 }
 
 impl Default for ProofStageConfig {
@@ -120,6 +125,7 @@ impl Default for ProofStageConfig {
             fault_timeout: None,
             checkpoint: None,
             cancel: None,
+            failure_plan: None,
         }
     }
 }
@@ -135,7 +141,7 @@ impl ProofStageConfig {
             use_x_path: self.use_x_path,
             use_sat: self.use_sat,
             sat_conflict_limit: self.sat_conflict_limit,
-            failure_plan: None,
+            failure_plan: self.failure_plan,
         }
     }
 

@@ -45,6 +45,7 @@
 
 pub mod design;
 pub mod flow;
+pub mod json;
 pub mod manipulate;
 pub mod report;
 pub mod rules;
@@ -52,6 +53,7 @@ pub mod toggle;
 
 pub use design::{ConstraintSpec, Design, NetlistDesign, SpecError};
 pub use flow::{DiscoveryMode, FlowConfig, FlowError, IdentificationFlow, ProofStageConfig};
+pub use json::{JsonError, JsonValue};
 pub use manipulate::{Manipulation, ManipulationStep};
 pub use report::{IdentificationReport, PhaseResult, ProofEngineBreakdown};
 pub use toggle::{analyze_toggles, ToggleReport};

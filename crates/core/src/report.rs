@@ -1,6 +1,7 @@
 //! The identification report: the Table-I-style summary plus per-phase
 //! details and timings.
 
+use crate::json::JsonValue;
 use faultmodel::{ClassCounts, UntestableSource, UntestableSummary};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -78,6 +79,34 @@ impl ProofEngineBreakdown {
     /// "stage deadline hit" signal callers use to pick an exit status.
     pub fn deadline_hit(&self) -> bool {
         self.aborted_timeout > 0
+    }
+
+    /// The per-engine breakdown as a JSON object — one key per counter,
+    /// the shared schema of `untestable --json` and the identification
+    /// service.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "podem_test_exists".to_string(),
+                self.podem_test_exists.into(),
+            ),
+            ("podem_proven".to_string(), self.podem_proven.into()),
+            ("podem_aborted".to_string(), self.podem_aborted.into()),
+            ("sat_test_exists".to_string(), self.sat_test_exists.into()),
+            ("sat_proven".to_string(), self.sat_proven.into()),
+            ("sat_aborted".to_string(), self.sat_aborted.into()),
+            (
+                "aborts".to_string(),
+                JsonValue::Object(vec![
+                    ("backtracks".to_string(), self.aborted_backtracks.into()),
+                    ("conflicts".to_string(), self.aborted_conflicts.into()),
+                    ("timeout".to_string(), self.aborted_timeout.into()),
+                    ("panicked".to_string(), self.aborted_panicked.into()),
+                    ("unsupported".to_string(), self.aborted_unsupported.into()),
+                ]),
+            ),
+            ("deadline_hit".to_string(), self.deadline_hit().into()),
+        ])
     }
 
     fn has_abort_reasons(&self) -> bool {
@@ -170,6 +199,75 @@ impl IdentificationReport {
     /// The result of the stage with the given name, if it ran.
     pub fn phase(&self, name: &str) -> Option<&PhaseResult> {
         self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// The whole report as a JSON object: classification counts, per-phase
+    /// deltas and timings, and (when the proof stage ran) the engine
+    /// breakdown. This is the one response schema shared by
+    /// `untestable --json` and the identification service; phase durations
+    /// are the only run-dependent fields, so verdict comparisons drop the
+    /// `phases` array.
+    pub fn to_json(&self) -> JsonValue {
+        let phases = self
+            .phases
+            .iter()
+            .map(|phase| {
+                JsonValue::Object(vec![
+                    ("name".to_string(), JsonValue::string(&phase.name)),
+                    (
+                        "newly_classified".to_string(),
+                        phase.newly_classified.into(),
+                    ),
+                    (
+                        "undetected_after".to_string(),
+                        phase.undetected_after.into(),
+                    ),
+                    (
+                        "duration_ms".to_string(),
+                        (phase.duration.as_secs_f64() * 1e3).into(),
+                    ),
+                ])
+            })
+            .collect();
+        let online = UntestableSource::ALL
+            .iter()
+            .map(|&source| (source.name().to_string(), self.counts.online(source).into()))
+            .collect();
+        let counts = JsonValue::Object(vec![
+            ("undetected".to_string(), self.counts.undetected.into()),
+            ("detected".to_string(), self.counts.detected.into()),
+            (
+                "possibly_detected".to_string(),
+                self.counts.possibly_detected.into(),
+            ),
+            ("redundant".to_string(), self.counts.redundant.into()),
+            ("tied".to_string(), self.counts.tied.into()),
+            ("blocked".to_string(), self.counts.blocked.into()),
+            ("unused".to_string(), self.counts.unused.into()),
+            ("online_untestable".to_string(), JsonValue::Object(online)),
+        ]);
+        let mut fields = vec![
+            ("design".to_string(), JsonValue::string(&self.design)),
+            ("total_faults".to_string(), self.total_faults.into()),
+            (
+                "baseline_structural".to_string(),
+                self.baseline_structural.into(),
+            ),
+            ("counts".to_string(), counts),
+            (
+                "online_untestable_total".to_string(),
+                self.total_untestable().into(),
+            ),
+            (
+                "untestable_fraction".to_string(),
+                self.untestable_fraction().into(),
+            ),
+            ("phases".to_string(), JsonValue::Array(phases)),
+        ];
+        if let Some(breakdown) = &self.engine_breakdown {
+            fields.push(("engine_breakdown".to_string(), breakdown.to_json()));
+        }
+        JsonValue::Object(fields)
     }
 
     /// The coverage figure a test achieving `detected` detections would
@@ -369,6 +467,59 @@ mod tests {
         assert!(
             text.contains("proof engines: PODEM 120 proven"),
             "breakdown row missing:\n{text}"
+        );
+    }
+
+    #[test]
+    fn report_json_schema_round_trips() {
+        let mut report = sample_report();
+        report.engine_breakdown = Some(ProofEngineBreakdown {
+            podem_proven: 3,
+            sat_proven: 2,
+            aborted_timeout: 1,
+            ..ProofEngineBreakdown::default()
+        });
+        let text = report.to_json().to_string();
+        let doc = JsonValue::parse(&text).unwrap();
+        assert_eq!(doc.get("design").and_then(JsonValue::as_str), Some("demo"));
+        assert_eq!(
+            doc.get("total_faults").and_then(JsonValue::as_u64),
+            Some(1000)
+        );
+        assert_eq!(
+            doc.get("online_untestable_total")
+                .and_then(JsonValue::as_u64),
+            Some(150)
+        );
+        let counts = doc.get("counts").unwrap();
+        assert_eq!(
+            counts
+                .get("online_untestable")
+                .and_then(|o| o.get("scan"))
+                .and_then(JsonValue::as_u64),
+            Some(90)
+        );
+        let breakdown = doc.get("engine_breakdown").unwrap();
+        assert_eq!(
+            breakdown.get("podem_proven").and_then(JsonValue::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            breakdown
+                .get("aborts")
+                .and_then(|a| a.get("timeout"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            breakdown.get("deadline_hit").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            doc.get("phases")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(2)
         );
     }
 

@@ -1,0 +1,160 @@
+//! A tiny blocking HTTP client for the service: used by the `untestable`
+//! CLI subcommands, the integration tests and the CI smoke job. Speaks
+//! exactly the subset the server does (`Connection: close`, JSON bodies).
+
+use crate::JsonValue;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A completed exchange: status code, response headers and body.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Raw response body (JSON for every service endpoint).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// The body parsed as JSON, when it is JSON.
+    pub fn json(&self) -> Option<JsonValue> {
+        JsonValue::parse(&self.body).ok()
+    }
+
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let wanted = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == wanted)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one request against `addr` (e.g. `127.0.0.1:3999`).
+///
+/// # Errors
+///
+/// Propagates connection and socket errors; a malformed response status
+/// line is reported as `InvalidData`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let payload = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .strip_prefix("HTTP/1.1 ")
+        .or_else(|| raw.strip_prefix("HTTP/1.0 "))
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response")
+        })?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .map(|(head, body)| (head.to_string(), body.to_string()))
+        .unwrap_or((raw, String::new()));
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// `POST /jobs` with the given JSON body.
+pub fn submit(addr: &str, body: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "POST", "/jobs", Some(body))
+}
+
+/// `GET /jobs/:id`.
+pub fn job_status(addr: &str, id: u64) -> std::io::Result<HttpResponse> {
+    request(addr, "GET", &format!("/jobs/{id}"), None)
+}
+
+/// `DELETE /jobs/:id`.
+pub fn cancel(addr: &str, id: u64) -> std::io::Result<HttpResponse> {
+    request(addr, "DELETE", &format!("/jobs/{id}"), None)
+}
+
+/// `POST /shutdown`, optionally hard (`mode=now`).
+pub fn shutdown(addr: &str, now: bool) -> std::io::Result<HttpResponse> {
+    let path = if now {
+        "/shutdown?mode=now"
+    } else {
+        "/shutdown"
+    };
+    request(addr, "POST", path, None)
+}
+
+/// Polls `GET /jobs/:id` until the job reaches a terminal state, returning
+/// its final status document.
+///
+/// # Errors
+///
+/// `TimedOut` when the job is still open after `timeout`; `InvalidData` on
+/// a non-JSON status document.
+pub fn wait_terminal(addr: &str, id: u64, timeout: Duration) -> std::io::Result<JsonValue> {
+    let started = Instant::now();
+    loop {
+        let response = job_status(addr, id)?;
+        let doc = response.json().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "non-JSON status")
+        })?;
+        let state = doc.get("state").and_then(JsonValue::as_str).unwrap_or("");
+        if matches!(state, "done" | "failed" | "cancelled") {
+            return Ok(doc);
+        }
+        if started.elapsed() > timeout {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("job {id} still `{state}` after {timeout:?}"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Polls `GET /healthz` until the daemon answers (it may still be binding).
+///
+/// # Errors
+///
+/// `TimedOut` when the daemon never comes up within `timeout`.
+pub fn wait_healthy(addr: &str, timeout: Duration) -> std::io::Result<()> {
+    let started = Instant::now();
+    loop {
+        if let Ok(response) = request(addr, "GET", "/healthz", None) {
+            if response.status == 200 {
+                return Ok(());
+            }
+        }
+        if started.elapsed() > timeout {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "daemon never became healthy",
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

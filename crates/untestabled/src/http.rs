@@ -1,0 +1,300 @@
+//! A hand-rolled, bounded HTTP/1.1 subset: exactly what the identification
+//! service needs and nothing more (no keep-alive, no chunked bodies, no
+//! multi-line headers).
+//!
+//! The parser is written for hostile input — it reads raw sockets — so every
+//! read is bounded by [`Limits`], every rejection maps to a clean 4xx/5xx
+//! status, and no input can make it panic, allocate unboundedly, or read
+//! forever. The hardening property test drives it with truncated, oversized
+//! and byte-mutated requests.
+
+use std::io::{BufRead, Read, Write};
+
+/// Upper bounds on every part of a request the parser will buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum request-line length in bytes.
+    pub request_line: usize,
+    /// Maximum total header-block length in bytes.
+    pub headers: usize,
+    /// Maximum body length in bytes (declared *or* delivered).
+    pub body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            request_line: 8 * 1024,
+            headers: 16 * 1024,
+            body: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request: method, origin-form target split into path and query,
+/// and the (possibly empty) body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST` or `DELETE` (anything else is rejected as 501).
+    pub method: String,
+    /// The path component of the target, e.g. `/jobs/3`.
+    pub path: String,
+    /// The query component without the `?`, empty when absent.
+    pub query: String,
+    /// The request body, sized by `Content-Length`.
+    pub body: Vec<u8>,
+}
+
+/// A request rejection, carrying the HTTP status it maps to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpError {
+    /// The response status code (4xx or 5xx).
+    pub status: u16,
+    /// Short human-readable reason, returned in the response body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// The canonical reason phrase for the status codes the service emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one line (terminated by `\n`, with an optional preceding `\r`) of
+/// at most `limit` bytes. A line longer than the limit fails with
+/// `over_limit`; EOF before any terminator fails as a truncated request.
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    limit: usize,
+    over_limit: HttpError,
+) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let mut limited = reader.take(limit as u64 + 1);
+    limited
+        .read_until(b'\n', &mut line)
+        .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+    match line.last() {
+        Some(b'\n') => {
+            line.pop();
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+        }
+        Some(_) if line.len() > limit => return Err(over_limit),
+        Some(_) => return Err(HttpError::new(400, "truncated request")),
+        None => return Err(HttpError::new(400, "empty request")),
+    }
+    if line.len() > limit {
+        return Err(over_limit);
+    }
+    String::from_utf8(line).map_err(|_| HttpError::new(400, "non-UTF-8 request header"))
+}
+
+/// Reads and validates one request from `reader` under the given limits.
+///
+/// # Errors
+///
+/// [`HttpError`] with the 4xx/5xx status the rejection maps to: 400 for
+/// malformed or truncated requests, 411 for a missing `Content-Length` on a
+/// body-carrying method, 413/414/431 for limit violations, 501 for
+/// unsupported methods or transfer encodings, 505 for unsupported HTTP
+/// versions.
+pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Request, HttpError> {
+    let request_line = read_line_bounded(
+        reader,
+        limits.request_line,
+        HttpError::new(414, "request line too long"),
+    )?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if parts.next().is_some() || method.is_empty() || target.is_empty() {
+        return Err(HttpError::new(400, "malformed request line"));
+    }
+    if !matches!(method.as_str(), "GET" | "POST" | "DELETE") {
+        return Err(HttpError::new(
+            501,
+            format!("method {method} not implemented"),
+        ));
+    }
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(HttpError::new(505, "unsupported HTTP version"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::new(400, "target must be origin-form"));
+    }
+
+    let mut content_length: Option<usize> = None;
+    let mut header_bytes = 0usize;
+    loop {
+        let remaining = limits.headers.saturating_sub(header_bytes);
+        let line = read_line_bounded(
+            reader,
+            remaining,
+            HttpError::new(431, "header block too large"),
+        )?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len() + 2;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, "malformed header line"))?;
+        let name = name.trim();
+        let value = value.trim();
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::new(400, "malformed header name"));
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            let length: usize = value
+                .parse()
+                .map_err(|_| HttpError::new(400, "malformed Content-Length"))?;
+            if content_length.is_some_and(|prev| prev != length) {
+                return Err(HttpError::new(400, "conflicting Content-Length"));
+            }
+            content_length = Some(length);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::new(501, "transfer encodings not implemented"));
+        }
+    }
+
+    let body = match content_length {
+        None if method == "POST" => return Err(HttpError::new(411, "Content-Length required")),
+        None | Some(0) => Vec::new(),
+        Some(length) => {
+            if length > limits.body {
+                return Err(HttpError::new(413, "body too large"));
+            }
+            let mut body = vec![0u8; length];
+            reader
+                .read_exact(&mut body)
+                .map_err(|_| HttpError::new(400, "truncated body"))?;
+            body
+        }
+    };
+
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Writes one `Connection: close` JSON response.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason_phrase(status),
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "\r\n{body}")?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(text.as_bytes()), &Limits::default())
+    }
+
+    #[test]
+    fn get_without_body() {
+        let request = parse("GET /jobs/3?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/jobs/3");
+        assert_eq!(request.query, "verbose=1");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn post_reads_exact_body() {
+        let request = parse("POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"\"}extra").unwrap();
+        assert_eq!(request.body, b"{\"\"}");
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        assert_eq!(
+            parse("POST /jobs HTTP/1.1\r\n\r\n").unwrap_err().status,
+            411
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let err = parse("POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn status_mapping() {
+        assert_eq!(parse("PUT /x HTTP/1.1\r\n\r\n").unwrap_err().status, 501);
+        assert_eq!(parse("GET /x HTTP/2\r\n\r\n").unwrap_err().status, 505);
+        assert_eq!(parse("GET x HTTP/1.1\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status,
+            501
+        );
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+        assert_eq!(parse(&long).unwrap_err().status, 414);
+        let fat = format!("GET /x HTTP/1.1\r\nA: {}\r\n\r\n", "b".repeat(17 * 1024));
+        assert_eq!(parse(&fat).unwrap_err().status, 431);
+        let heavy = "POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        assert_eq!(parse(heavy).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 503, &[("Retry-After", "1")], "{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,139 @@
+//! A bounded job queue with backpressure: new submissions are refused when
+//! the queue is full (the server maps that to `503` + `Retry-After`), while
+//! retries of already-accepted jobs always fit — accepting a job is a
+//! promise to drive it to a terminal state.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// The queue is at capacity; the submission was not accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
+struct QueueState {
+    items: VecDeque<u64>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO of job ids.
+pub struct JobQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+impl JobQueue {
+    /// An empty queue refusing new submissions beyond `capacity`.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a *new* submission, refusing it when the queue is at
+    /// capacity (backpressure) or closed (shutdown).
+    pub fn push_new(&self, id: u64) -> Result<(), QueueFull> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        state.items.push_back(id);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Re-enqueues an already-accepted job (a retry): never refused by the
+    /// capacity bound — the job was admitted when the bound was checked.
+    pub fn push_retry(&self, id: u64) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return;
+        }
+        state.items.push_front(id);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Blocks until an id is available (returned) or the queue is closed
+    /// *and* empty (`None` — the worker should exit).
+    pub fn pop(&self) -> Option<u64> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(id) = state.items.pop_front() {
+                return Some(id);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Number of queued ids.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pending items still drain, new pushes are refused,
+    /// and every blocked and future [`pop`](Self::pop) returns `None` once
+    /// the backlog is empty.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Closes the queue *and* drops the backlog (hard shutdown: the dropped
+    /// jobs stay journalled on disk and are re-enqueued on restart).
+    pub fn close_and_clear(&self) -> Vec<u64> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        let dropped = state.items.drain(..).collect();
+        drop(state);
+        self.available.notify_all();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backpressure_refuses_only_new_submissions() {
+        let queue = JobQueue::new(2);
+        queue.push_new(1).unwrap();
+        queue.push_new(2).unwrap();
+        assert_eq!(queue.push_new(3), Err(QueueFull));
+        queue.push_retry(3);
+        assert_eq!(queue.len(), 3);
+        // Retries jump the line: an in-flight job finishes before new work.
+        assert_eq!(queue.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let queue = Arc::new(JobQueue::new(4));
+        queue.push_new(1).unwrap();
+        queue.close();
+        assert_eq!(queue.push_new(2), Err(QueueFull));
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), None);
+        let blocked = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        assert_eq!(blocked.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Hardening of the HTTP request layer: truncated, oversized and
+//! byte-mutated requests must always produce a clean 4xx/5xx rejection (or
+//! a valid parse) — never a panic, and never an unbounded read.
+//!
+//! This is the same campaign the netlist frontends run: a byte-level
+//! mutation engine over well-formed seeds, plus the exhaustive
+//! truncate-at-every-byte sweep.
+
+use std::io::Cursor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use proptest::prelude::*;
+use untestabled::{read_request, HttpError, Limits, Request};
+
+/// A well-formed submission (the body is deliberately *not* valid JSON for
+/// the service — the HTTP layer under test does not look inside bodies).
+const POST_SEED: &str = "POST /jobs HTTP/1.1\r\nHost: localhost:3999\r\nContent-Type: application/json\r\nContent-Length: 24\r\n\r\n{\"circuit\": \"INPUT(a)\"}\n";
+
+const GET_SEED: &str =
+    "GET /jobs/7?verbose=1 HTTP/1.1\r\nHost: localhost:3999\r\nAccept: application/json\r\n\r\n";
+
+const DELETE_SEED: &str = "DELETE /jobs/7 HTTP/1.0\r\nHost: localhost\r\n\r\n";
+
+const SEEDS: [&str; 3] = [POST_SEED, GET_SEED, DELETE_SEED];
+
+/// Small limits so the mutation campaign can actually cross them.
+fn tight_limits() -> Limits {
+    Limits {
+        request_line: 256,
+        headers: 512,
+        body: 1024,
+    }
+}
+
+/// Parses under a panic guard. `Err(_)` from the guard is the property
+/// violation we are hunting: a parser panic instead of an `HttpError`.
+fn parse_guarded(bytes: &[u8], limits: &Limits) -> Result<Result<Request, HttpError>, String> {
+    let owned = bytes.to_vec();
+    let limits = *limits;
+    catch_unwind(AssertUnwindSafe(move || {
+        read_request(&mut Cursor::new(owned), &limits)
+    }))
+    .map_err(|panic| {
+        let message = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        format!("request parser panicked: {message}")
+    })
+}
+
+/// The hardening contract on one input: no panic, and any rejection carries
+/// a 4xx/5xx status and a non-empty message.
+fn assert_contract(bytes: &[u8], limits: &Limits) -> Result<(), TestCaseError> {
+    match parse_guarded(bytes, limits) {
+        Ok(Ok(_)) => Ok(()),
+        Ok(Err(e)) => {
+            prop_assert!(
+                (400..600).contains(&e.status),
+                "rejection outside 4xx/5xx: {e:?}"
+            );
+            prop_assert!(!e.message.is_empty(), "empty rejection message: {e:?}");
+            Ok(())
+        }
+        Err(panic) => Err(TestCaseError::fail(format!(
+            "{panic}\ninput:\n{}",
+            String::from_utf8_lossy(bytes)
+        ))),
+    }
+}
+
+/// One byte-level mutation step, decoded from three sampled integers.
+fn mutate(bytes: &mut Vec<u8>, op: u8, position: usize, payload: u8) {
+    if bytes.is_empty() {
+        bytes.push(payload);
+        return;
+    }
+    let at = position % bytes.len();
+    match op % 5 {
+        // Truncate: the torn-request shape.
+        0 => bytes.truncate(at),
+        // Overwrite one byte with arbitrary garbage.
+        1 => bytes[at] = payload,
+        // Insert one arbitrary byte.
+        2 => bytes.insert(at, payload),
+        // Delete a short run.
+        3 => {
+            let end = (at + 1 + payload as usize % 8).min(bytes.len());
+            bytes.drain(at..end);
+        }
+        // Duplicate a short run (repeated headers, doubled CRLFs).
+        _ => {
+            let end = (at + 1 + payload as usize % 16).min(bytes.len());
+            let run: Vec<u8> = bytes[at..end].to_vec();
+            bytes.splice(at..at, run);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Randomly mutated requests parse or get rejected cleanly, under both
+    /// the production limits and deliberately tight ones. Each sampled word
+    /// packs one mutation step: op in the low byte, position in the middle,
+    /// payload on top.
+    #[test]
+    fn mutated_requests_never_panic(
+        seed in 0usize..3,
+        steps in prop::collection::vec(any::<u64>(), 1..8),
+        tight in any::<bool>(),
+    ) {
+        let mut bytes = SEEDS[seed].as_bytes().to_vec();
+        for &word in &steps {
+            let op = (word & 0xff) as u8;
+            let position = ((word >> 8) & 0xffff) as usize;
+            let payload = ((word >> 24) & 0xff) as u8;
+            mutate(&mut bytes, op, position, payload);
+        }
+        let limits = if tight { tight_limits() } else { Limits::default() };
+        assert_contract(&bytes, &limits)?;
+    }
+}
+
+/// Every byte-boundary truncation of every seed: the exhaustive version of
+/// the torn-request case. A truncated request must never hang the reader or
+/// panic — only parse (when the cut lands after a complete request) or map
+/// to a clean 4xx.
+#[test]
+fn every_truncation_parses_or_rejects_cleanly() {
+    for seed in SEEDS {
+        for cut in 0..=seed.len() {
+            if let Err(panic) = assert_contract(&seed.as_bytes()[..cut], &Limits::default()) {
+                panic!("truncation at byte {cut}: {panic}");
+            }
+        }
+    }
+}
+
+/// Oversized requests map to their specific limit statuses, under arbitrary
+/// inflation factors.
+#[test]
+fn oversized_requests_map_to_limit_statuses() {
+    let limits = tight_limits();
+    let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(4096));
+    assert_eq!(
+        parse_guarded(long_line.as_bytes(), &limits)
+            .unwrap()
+            .unwrap_err()
+            .status,
+        414
+    );
+    let fat_headers = format!(
+        "GET /x HTTP/1.1\r\n{}\r\n",
+        "X-Pad: 0123456789abcdef\r\n".repeat(64)
+    );
+    assert_eq!(
+        parse_guarded(fat_headers.as_bytes(), &limits)
+            .unwrap()
+            .unwrap_err()
+            .status,
+        431
+    );
+    let heavy_body = format!(
+        "POST /jobs HTTP/1.1\r\nContent-Length: 4096\r\n\r\n{}",
+        "b".repeat(4096)
+    );
+    assert_eq!(
+        parse_guarded(heavy_body.as_bytes(), &limits)
+            .unwrap()
+            .unwrap_err()
+            .status,
+        413
+    );
+    // A huge *declared* length is refused before any buffering.
+    let liar = "POST /jobs HTTP/1.1\r\nContent-Length: 18446744073709551615\r\n\r\n";
+    let err = parse_guarded(liar.as_bytes(), &limits)
+        .unwrap()
+        .unwrap_err();
+    assert!(err.status == 413 || err.status == 400, "{err:?}");
+}
+
+/// The seeds themselves parse — otherwise the mutation campaign starts from
+/// garbage and exercises nothing deep.
+#[test]
+fn seeds_parse_cleanly() {
+    for seed in SEEDS {
+        let request = parse_guarded(seed.as_bytes(), &Limits::default())
+            .unwrap()
+            .unwrap_or_else(|e| panic!("seed rejected: {e:?}\n{seed}"));
+        assert!(request.path.starts_with("/jobs"));
+    }
+}
